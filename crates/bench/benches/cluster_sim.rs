@@ -1,0 +1,75 @@
+//! Criterion benchmark of the whole-cluster simulator: a small contended
+//! scenario per scheduling policy. Measures simulator throughput
+//! (events/second appear in the custom report of `tab02_resources`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibis_cluster::prelude::*;
+use ibis_core::SfqD2Config;
+use ibis_simcore::units::GIB;
+use ibis_simcore::SimDuration;
+use ibis_workloads::{teragen, wordcount};
+use std::hint::black_box;
+
+fn small_cluster(policy: Policy) -> ClusterConfig {
+    let coordinated = policy.coordinates();
+    ClusterConfig {
+        nodes: 4,
+        cores_per_node: 4,
+        hdfs_device: DeviceSpec::Ideal {
+            bandwidth: 200e6,
+            latency: SimDuration::from_micros(200),
+        },
+        scratch_device: DeviceSpec::Ideal {
+            bandwidth: 200e6,
+            latency: SimDuration::from_micros(200),
+        },
+        auto_reference: false,
+        ..ClusterConfig::default()
+    }
+    .with_policy(policy)
+    .with_coordination(coordinated)
+}
+
+fn end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_sim");
+    group.sample_size(10);
+    for (label, policy) in [
+        ("native", Policy::Native),
+        ("sfq_d8", Policy::SfqD { depth: 8 }),
+        ("sfqd2_coord", Policy::SfqD2(SfqD2Config::default())),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &policy,
+            |b, policy| {
+                b.iter(|| {
+                    let mut exp = Experiment::new(small_cluster(policy.clone()));
+                    exp.add_job(wordcount(GIB).max_slots(8).io_weight(32.0));
+                    exp.add_job(teragen(2 * GIB).max_slots(8).io_weight(1.0));
+                    black_box(exp.run().events)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn hdd_cluster_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_sim_hdd");
+    group.sample_size(10);
+    group.bench_function("sfqd2_contended", |b| {
+        b.iter(|| {
+            let cfg = ClusterConfig::default()
+                .with_policy(Policy::SfqD2(SfqD2Config::default()))
+                .with_coordination(true);
+            let mut exp = Experiment::new(cfg);
+            exp.add_job(wordcount(GIB).max_slots(48).io_weight(32.0));
+            exp.add_job(teragen(4 * GIB).max_slots(48).io_weight(1.0));
+            black_box(exp.run().events)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, end_to_end, hdd_cluster_sim);
+criterion_main!(benches);

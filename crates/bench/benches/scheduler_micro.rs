@@ -1,0 +1,147 @@
+//! Criterion micro-benchmarks of the IBIS scheduler hot paths: tag
+//! computation and dispatch, the depth controller, the baselines, and the
+//! scheduling broker. These are the per-request costs that determine the
+//! interposition overhead the paper's Table 2 bounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ibis_core::prelude::*;
+use ibis_core::SchedulingBroker;
+use ibis_simcore::{SimDuration, SimTime};
+use std::hint::black_box;
+
+/// One full request lifecycle (submit → dispatch → complete) per
+/// iteration, cycling over `flows` applications.
+fn lifecycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("request_lifecycle");
+    group.throughput(Throughput::Elements(1));
+    for flows in [2u32, 8, 32] {
+        for (label, mk) in [
+            ("sfq_d8", Policy::SfqD { depth: 8 }),
+            ("sfqd2", Policy::SfqD2(SfqD2Config::default())),
+            ("fifo", Policy::Native),
+            ("cg_weight", Policy::CgroupWeight),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, flows),
+                &flows,
+                |b, &flows| {
+                    let mut s = mk.build();
+                    for f in 0..flows {
+                        s.set_weight(AppId(f), 1.0 + f as f64);
+                    }
+                    let mut id = 0u64;
+                    b.iter(|| {
+                        let app = AppId(id as u32 % flows);
+                        s.submit(
+                            Request::new(id, app, IoKind::Read, 4 << 20),
+                            SimTime::ZERO,
+                        );
+                        id += 1;
+                        let r = s.pop_dispatch(SimTime::ZERO).expect("dispatch");
+                        s.on_complete(
+                            r.app,
+                            r.kind,
+                            r.bytes,
+                            SimDuration::from_millis(5),
+                            SimTime::ZERO,
+                        );
+                        black_box(r.id)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Dispatch out of a deep backlog (the contended steady state).
+fn backlogged_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backlogged_dispatch");
+    group.throughput(Throughput::Elements(1));
+    for backlog in [64usize, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("sfq_d8", backlog),
+            &backlog,
+            |b, &backlog| {
+                let mut s = Policy::SfqD { depth: 8 }.build();
+                let mut id = 0u64;
+                for _ in 0..backlog {
+                    s.submit(
+                        Request::new(id, AppId(id as u32 % 8), IoKind::Write, 4 << 20),
+                        SimTime::ZERO,
+                    );
+                    id += 1;
+                }
+                b.iter(|| {
+                    let r = s.pop_dispatch(SimTime::ZERO).expect("dispatch");
+                    s.on_complete(
+                        r.app,
+                        r.kind,
+                        r.bytes,
+                        SimDuration::from_millis(1),
+                        SimTime::ZERO,
+                    );
+                    // keep the backlog level constant
+                    s.submit(
+                        Request::new(id, AppId(id as u32 % 8), IoKind::Write, 4 << 20),
+                        SimTime::ZERO,
+                    );
+                    id += 1;
+                    black_box(r.id)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The controller update (runs once per second per device in production).
+fn controller_update(c: &mut Criterion) {
+    c.bench_function("controller_update", |b| {
+        let mut ctl = DepthController::new(ControllerConfig::default());
+        let mut t = 1u64;
+        b.iter(|| {
+            for _ in 0..16 {
+                ctl.observe(true, SimDuration::from_millis(40));
+                ctl.observe(false, SimDuration::from_millis(60));
+            }
+            let d = ctl.maybe_update(SimTime::from_secs(t));
+            t += 1;
+            black_box(d)
+        });
+    });
+}
+
+/// Broker aggregation at cluster scale: n apps reported by m schedulers.
+fn broker_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker_round");
+    for (apps, scheds) in [(4u32, 16u32), (32, 16), (32, 256)] {
+        group.throughput(Throughput::Elements(scheds as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{apps}apps_{scheds}scheds")),
+            &(apps, scheds),
+            |b, &(apps, scheds)| {
+                let mut broker = SchedulingBroker::new();
+                let report: Vec<(AppId, u64)> =
+                    (0..apps).map(|a| (AppId(a), 4 << 20)).collect();
+                b.iter(|| {
+                    for _ in 0..scheds {
+                        black_box(broker.report(&report));
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+use ibis_core::{ControllerConfig, DepthController, SfqD2Config};
+
+criterion_group!(
+    benches,
+    lifecycle,
+    backlogged_dispatch,
+    controller_update,
+    broker_round
+);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Ablation: delay_cap (see DESIGN.md §5). Scale via IBIS_SCALE={quick,paper}.
+use ibis_bench::figs::ablations;
+use ibis_bench::ScaleProfile;
+
+fn main() {
+    let sink = ablations::delay_cap(ScaleProfile::from_env());
+    sink.save();
+}

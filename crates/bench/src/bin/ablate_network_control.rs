@@ -1,0 +1,8 @@
+//! Ablation: network bandwidth control (paper §3 future work).
+use ibis_bench::figs::ablations;
+use ibis_bench::ScaleProfile;
+
+fn main() {
+    let sink = ablations::network_control(ScaleProfile::from_env());
+    sink.save();
+}

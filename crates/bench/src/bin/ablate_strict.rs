@@ -1,0 +1,8 @@
+//! Ablation: strict non-work-conserving partitioning (paper §9).
+use ibis_bench::figs::ablations;
+use ibis_bench::ScaleProfile;
+
+fn main() {
+    let sink = ablations::strict(ScaleProfile::from_env());
+    sink.save();
+}

@@ -1,0 +1,8 @@
+//! Ablation: write_window (see DESIGN.md §5). Scale via IBIS_SCALE={quick,paper}.
+use ibis_bench::figs::ablations;
+use ibis_bench::ScaleProfile;
+
+fn main() {
+    let sink = ablations::write_window(ScaleProfile::from_env());
+    sink.save();
+}

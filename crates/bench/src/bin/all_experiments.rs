@@ -1,0 +1,46 @@
+//! Runs the complete figure/table suite and saves every result file —
+//! the one-command regeneration entry point for EXPERIMENTS.md.
+//! Scale via IBIS_SCALE={quick,paper}.
+
+use ibis_bench::figs::*;
+use ibis_bench::ScaleProfile;
+
+type FigureFn = fn(ScaleProfile) -> ibis_bench::ResultSink;
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    let t0 = std::time::Instant::now();
+    let runs: Vec<(&str, FigureFn)> = vec![
+        ("tab01", tab01_config::run),
+        ("fig02", fig02_profiles::run),
+        ("fig03", fig03_motivation::run),
+        ("fig06", fig06_isolation_hdd::run),
+        ("fig07", fig07_depth_trace::run),
+        ("fig08", fig08_isolation_ssd::run),
+        ("fig09", fig09_facebook::run),
+        ("fig10", fig10_multiframework::run),
+        ("fig11", fig11_prop_slowdown::run),
+        ("fig12", fig12_coordination::run),
+        ("fig13", fig13_overhead::run),
+        ("tab02", tab02_resources::run),
+        ("tab03", tab03_loc::run),
+        ("ablate_controller", ablations::controller),
+        ("ablate_sync_period", ablations::sync_period),
+        ("ablate_delay_cap", ablations::delay_cap),
+        ("ablate_write_window", ablations::write_window),
+        ("ablate_strict", ablations::strict),
+        ("ablate_network_control", ablations::network_control),
+    ];
+    for (name, f) in runs {
+        println!("\n================ {name} ================\n");
+        let t = std::time::Instant::now();
+        let sink = f(scale);
+        sink.save();
+        println!("[{name} done in {:.1}s]", t.elapsed().as_secs_f64());
+    }
+    println!(
+        "\nAll experiments regenerated in {:.1}s at {}.",
+        t0.elapsed().as_secs_f64(),
+        scale.label()
+    );
+}

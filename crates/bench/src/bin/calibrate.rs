@@ -1,0 +1,83 @@
+//! Diagnostic calibration run: prints device profiles and the core
+//! WordCount-vs-TeraGen numbers at a small scale, with simulator
+//! throughput statistics. Not a paper figure — a quick health check that
+//! the models produce the right qualitative behaviour.
+//!
+//! Run: `cargo run -p ibis-bench --release --bin calibrate`
+
+use ibis_cluster::prelude::*;
+use ibis_core::SfqD2Config;
+use ibis_simcore::units::{fmt_rate, GIB};
+use ibis_storage::{profile_device, IoKind};
+use ibis_workloads::{teragen, wordcount};
+
+fn main() {
+    // 1. Device profile curves.
+    let spec = DeviceSpec::default_hdd();
+    let dev = spec.build(0);
+    let refs = profile_device(&dev, 4, 4 * 1024 * 1024);
+    println!("HDD profile (4 MiB requests, 4 streams):");
+    println!("  depth  read-lat(ms)  read-bw       write-lat(ms)  write-bw");
+    for (r, w) in refs.read_curve.iter().zip(&refs.write_curve) {
+        println!(
+            "  {:>5}  {:>12.1}  {:>12}  {:>13.1}  {:>12}",
+            r.depth,
+            r.latency.as_nanos() as f64 / 1e6,
+            fmt_rate(r.throughput),
+            w.latency.as_nanos() as f64 / 1e6,
+            fmt_rate(w.throughput),
+        );
+    }
+    println!(
+        "  L_ref: read {:.1} ms, write {:.1} ms",
+        refs.read.as_nanos() as f64 / 1e6,
+        refs.write.as_nanos() as f64 / 1e6
+    );
+    let _ = IoKind::Read;
+
+    // 2. WordCount alone / + TeraGen native / + TeraGen SFQ(D2).
+    let wc_bytes = 4 * GIB;
+    let tg_bytes = 24 * GIB;
+
+    let run = |name: &str, policy: Policy, with_tg: bool| {
+        let cfg = ClusterConfig::default().with_policy(policy).with_coordination(true);
+        let mut exp = Experiment::new(cfg);
+        exp.add_job(wordcount(wc_bytes).max_slots(48).io_weight(32.0));
+        if with_tg {
+            exp.add_job(teragen(tg_bytes).max_slots(48).io_weight(1.0));
+        }
+        let t0 = std::time::Instant::now();
+        let r = exp.run();
+        println!(
+            "{name}: wc={:.1}s tg={} events={} wall={:.2}s sim-rate={:.1}M ev/s",
+            r.runtime_secs("WordCount").unwrap_or(f64::NAN),
+            r.runtime_secs("TeraGen")
+                .map(|t| format!("{t:.1}s"))
+                .unwrap_or_else(|| "-".into()),
+            r.events,
+            t0.elapsed().as_secs_f64(),
+            r.events as f64 / t0.elapsed().as_secs_f64() / 1e6,
+        );
+        r
+    };
+
+    let alone = run("wc alone        ", Policy::Native, false);
+    let native = run("wc+tg native    ", Policy::Native, true);
+    let sfqd2 = run(
+        "wc+tg SFQ(D2)   ",
+        Policy::SfqD2(SfqD2Config::default()),
+        true,
+    );
+
+    let base = alone.runtime_secs("WordCount").unwrap();
+    println!(
+        "\nslowdowns: native {:+.0}%  SFQ(D2) {:+.0}%",
+        (native.runtime_secs("WordCount").unwrap() / base - 1.0) * 100.0,
+        (sfqd2.runtime_secs("WordCount").unwrap() / base - 1.0) * 100.0,
+    );
+    println!(
+        "total throughput: native {}  SFQ(D2) {}",
+        fmt_rate(native.mean_total_throughput()),
+        fmt_rate(sfqd2.mean_total_throughput()),
+    );
+}

@@ -1,0 +1,9 @@
+//! Regenerates fig02 profiles (see DESIGN.md §4). Scale via IBIS_SCALE={quick,paper}.
+use ibis_bench::figs::fig02_profiles;
+use ibis_bench::ScaleProfile;
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    let sink = fig02_profiles::run(scale);
+    sink.save();
+}

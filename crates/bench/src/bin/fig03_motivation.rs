@@ -1,0 +1,9 @@
+//! Regenerates fig03 motivation (see DESIGN.md §4). Scale via IBIS_SCALE={quick,paper}.
+use ibis_bench::figs::fig03_motivation;
+use ibis_bench::ScaleProfile;
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    let sink = fig03_motivation::run(scale);
+    sink.save();
+}

@@ -1,0 +1,9 @@
+//! Regenerates fig06 isolation hdd (see DESIGN.md §4). Scale via IBIS_SCALE={quick,paper}.
+use ibis_bench::figs::fig06_isolation_hdd;
+use ibis_bench::ScaleProfile;
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    let sink = fig06_isolation_hdd::run(scale);
+    sink.save();
+}

@@ -1,0 +1,9 @@
+//! Regenerates fig07 depth trace (see DESIGN.md §4). Scale via IBIS_SCALE={quick,paper}.
+use ibis_bench::figs::fig07_depth_trace;
+use ibis_bench::ScaleProfile;
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    let sink = fig07_depth_trace::run(scale);
+    sink.save();
+}

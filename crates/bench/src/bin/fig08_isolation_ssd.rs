@@ -1,0 +1,9 @@
+//! Regenerates fig08 isolation ssd (see DESIGN.md §4). Scale via IBIS_SCALE={quick,paper}.
+use ibis_bench::figs::fig08_isolation_ssd;
+use ibis_bench::ScaleProfile;
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    let sink = fig08_isolation_ssd::run(scale);
+    sink.save();
+}

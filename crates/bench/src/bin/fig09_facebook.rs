@@ -1,0 +1,9 @@
+//! Regenerates fig09 facebook (see DESIGN.md §4). Scale via IBIS_SCALE={quick,paper}.
+use ibis_bench::figs::fig09_facebook;
+use ibis_bench::ScaleProfile;
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    let sink = fig09_facebook::run(scale);
+    sink.save();
+}

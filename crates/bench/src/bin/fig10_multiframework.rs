@@ -1,0 +1,9 @@
+//! Regenerates fig10 multiframework (see DESIGN.md §4). Scale via IBIS_SCALE={quick,paper}.
+use ibis_bench::figs::fig10_multiframework;
+use ibis_bench::ScaleProfile;
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    let sink = fig10_multiframework::run(scale);
+    sink.save();
+}

@@ -1,0 +1,9 @@
+//! Regenerates fig11 prop slowdown (see DESIGN.md §4). Scale via IBIS_SCALE={quick,paper}.
+use ibis_bench::figs::fig11_prop_slowdown;
+use ibis_bench::ScaleProfile;
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    let sink = fig11_prop_slowdown::run(scale);
+    sink.save();
+}

@@ -1,0 +1,9 @@
+//! Regenerates fig12 coordination (see DESIGN.md §4). Scale via IBIS_SCALE={quick,paper}.
+use ibis_bench::figs::fig12_coordination;
+use ibis_bench::ScaleProfile;
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    let sink = fig12_coordination::run(scale);
+    sink.save();
+}

@@ -1,0 +1,9 @@
+//! Regenerates fig13 overhead (see DESIGN.md §4). Scale via IBIS_SCALE={quick,paper}.
+use ibis_bench::figs::fig13_overhead;
+use ibis_bench::ScaleProfile;
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    let sink = fig13_overhead::run(scale);
+    sink.save();
+}

@@ -1,0 +1,109 @@
+//! Parameter probe: WordCount vs TeraGen under static depths and a sweep
+//! of SFQ(D2) reference latencies. Diagnostic, not a paper figure.
+//!
+//! Environment knobs: IBIS_WC_MB, IBIS_TG_GB (volumes), IBIS_RW / IBIS_WW /
+//! IBIS_PW (read / HDFS-write / pipeline windows), IBIS_FAT_NET (unlimited
+//! ingress), IBIS_PROBE_PHASES (print wc phase breakdown).
+
+use ibis_cluster::prelude::*;
+use ibis_core::{ControllerConfig, SfqD2Config};
+use ibis_simcore::units::{fmt_rate, GIB, MIB};
+use ibis_simcore::SimDuration;
+use ibis_workloads::{teragen, wordcount};
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn cluster(policy: Policy) -> ClusterConfig {
+    let mut cfg = ClusterConfig::default()
+        .with_policy(policy)
+        .with_coordination(true);
+    if std::env::var("IBIS_FAT_NET").is_ok() {
+        cfg.nic_bw = 1e12;
+    }
+    cfg.read_window = env_u64("IBIS_RW", cfg.read_window as u64) as u32;
+    cfg.hdfs_write_window = env_u64("IBIS_WW", cfg.hdfs_write_window as u64) as u32;
+    cfg.pipeline_window = env_u64("IBIS_PW", cfg.pipeline_window as u64) as u32;
+    cfg
+}
+
+fn wc_spec() -> ibis_mapreduce::JobSpec {
+    wordcount(env_u64("IBIS_WC_MB", 6144) * MIB)
+        .max_slots(48)
+        .io_weight(32.0)
+}
+
+fn run(policy: Policy) -> (f64, f64, f64) {
+    let mut exp = Experiment::new(cluster(policy));
+    exp.add_job(wc_spec());
+    exp.add_job(teragen(env_u64("IBIS_TG_GB", 48) * GIB).max_slots(48).io_weight(1.0));
+    let r = exp.run();
+    if std::env::var("IBIS_PROBE_PHASES").is_ok() {
+        let j = r.job("WordCount").unwrap();
+        eprintln!(
+            "    [map {:.1}s red {:.1}s]",
+            j.map_phase.as_secs_f64(),
+            j.reduce_phase.as_secs_f64()
+        );
+    }
+    (
+        r.runtime_secs("WordCount").unwrap(),
+        r.runtime_secs("TeraGen").unwrap(),
+        r.mean_total_throughput(),
+    )
+}
+
+fn main() {
+    let mut exp = Experiment::new(cluster(Policy::Native));
+    exp.add_job(wc_spec());
+    let base = exp.run().runtime_secs("WordCount").unwrap();
+    println!("wc alone: {base:.1}s");
+
+    let (wc, tg, thr) = run(Policy::Native);
+    println!(
+        "native     : wc {wc:6.1}s ({:+5.0}%)  tg {tg:6.1}s  thr {}",
+        (wc / base - 1.0) * 100.0,
+        fmt_rate(thr)
+    );
+    let native_thr = thr;
+
+    for d in [12, 8, 4, 2, 1] {
+        let (wc, tg, thr) = run(Policy::SfqD { depth: d });
+        println!(
+            "SFQ(D={d:<2})  : wc {wc:6.1}s ({:+5.0}%)  tg {tg:6.1}s  thr {} ({:+.0}%)",
+            (wc / base - 1.0) * 100.0,
+            fmt_rate(thr),
+            (thr / native_thr - 1.0) * 100.0
+        );
+    }
+
+    for lref_ms in [40u64, 60, 90, 130, 200, 260] {
+        let c = SfqD2Config {
+            controller: ControllerConfig {
+                gain_per_us: 1e-6,
+                ..ControllerConfig::default()
+            }
+            .with_reference(SimDuration::from_millis(lref_ms)),
+            delay_cap: None,
+            trace: false,
+        };
+        let mut cfg = cluster(Policy::SfqD2(c));
+        cfg.auto_reference = false;
+        let mut exp = Experiment::new(cfg);
+        exp.add_job(wc_spec());
+        exp.add_job(teragen(env_u64("IBIS_TG_GB", 48) * GIB).max_slots(48).io_weight(1.0));
+        let r = exp.run();
+        let (wc, tg, thr) = (
+            r.runtime_secs("WordCount").unwrap(),
+            r.runtime_secs("TeraGen").unwrap(),
+            r.mean_total_throughput(),
+        );
+        println!(
+            "D2 ref={lref_ms:>3}ms: wc {wc:6.1}s ({:+5.0}%)  tg {tg:6.1}s  thr {} ({:+.0}%)",
+            (wc / base - 1.0) * 100.0,
+            fmt_rate(thr),
+            (thr / native_thr - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates tab01 config (see DESIGN.md §4). Scale via IBIS_SCALE={quick,paper}.
+use ibis_bench::figs::tab01_config;
+use ibis_bench::ScaleProfile;
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    let sink = tab01_config::run(scale);
+    sink.save();
+}

@@ -1,0 +1,9 @@
+//! Regenerates tab02 resources (see DESIGN.md §4). Scale via IBIS_SCALE={quick,paper}.
+use ibis_bench::figs::tab02_resources;
+use ibis_bench::ScaleProfile;
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    let sink = tab02_resources::run(scale);
+    sink.save();
+}

@@ -1,0 +1,9 @@
+//! Regenerates tab03 loc (see DESIGN.md §4). Scale via IBIS_SCALE={quick,paper}.
+use ibis_bench::figs::tab03_loc;
+use ibis_bench::ScaleProfile;
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    let sink = tab03_loc::run(scale);
+    sink.save();
+}

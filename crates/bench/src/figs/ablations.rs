@@ -1,0 +1,254 @@
+//! Ablations of the design choices DESIGN.md §5 calls out. Not paper
+//! figures — they quantify how each knob moves the Fig. 6 result.
+
+use crate::experiments::{hdd_cluster, slowdown_pct, tg_half, wc_half};
+use crate::results::ResultSink;
+use crate::scale::ScaleProfile;
+use crate::table::Table;
+use ibis_cluster::prelude::*;
+use ibis_core::{ControllerConfig, SfqD2Config};
+use ibis_simcore::SimDuration;
+
+fn wc_alone(scale: ScaleProfile) -> f64 {
+    let mut exp = Experiment::new(hdd_cluster(Policy::Native));
+    exp.add_job(wc_half(scale));
+    exp.run().runtime_secs("WordCount").expect("wc")
+}
+
+fn contended(scale: ScaleProfile, cluster: ClusterConfig) -> (f64, f64) {
+    let mut exp = Experiment::new(cluster);
+    exp.add_job(wc_half(scale).io_weight(32.0));
+    exp.add_job(tg_half(scale).io_weight(1.0));
+    let r = exp.run();
+    (
+        r.runtime_secs("WordCount").expect("wc"),
+        r.mean_total_throughput() / 1e6,
+    )
+}
+
+fn d2_policy(f: impl FnOnce(&mut SfqD2Config)) -> Policy {
+    let mut cfg = SfqD2Config::default();
+    f(&mut cfg);
+    Policy::SfqD2(cfg)
+}
+
+/// Controller gain and reference-latency sweep (`ablate_controller`).
+pub fn controller(scale: ScaleProfile) -> ResultSink {
+    let mut sink = ResultSink::new("ablate_controller", scale.label());
+    println!("Ablation — SFQ(D2) controller gain and reference latency\n");
+    let base = wc_alone(scale);
+
+    let mut t = Table::new(&["gain (per µs)", "L_ref", "wc slowdown", "thr MB/s"]);
+    for gain in [1e-7, 1e-6, 1e-5] {
+        for lref_ms in [40u64, 120, 260] {
+            let mut cluster = hdd_cluster(d2_policy(|c| {
+                c.controller = ControllerConfig {
+                    gain_per_us: gain,
+                    ..ControllerConfig::default()
+                }
+                .with_reference(SimDuration::from_millis(lref_ms));
+            }));
+            cluster.auto_reference = false;
+            let (wc, thr) = contended(scale, cluster);
+            let sd = slowdown_pct(wc, base);
+            t.row(&[
+                format!("{gain:.0e}"),
+                format!("{lref_ms} ms"),
+                format!("{sd:+.0}%"),
+                format!("{thr:.0}"),
+            ]);
+            sink.record(&format!("g{gain:.0e}_l{lref_ms}_slowdown_pct"), sd);
+        }
+    }
+    t.print();
+    sink.note(
+        "Higher L_ref trades isolation for utilisation; the gain sets how \
+         fast D converges (too low: sluggish; the paper's 1e-6 is ample at \
+         a 1 s period).",
+    );
+    sink
+}
+
+/// Broker sync-period sweep (`ablate_sync_period`).
+pub fn sync_period(scale: ScaleProfile) -> ResultSink {
+    let mut sink = ResultSink::new("ablate_sync_period", scale.label());
+    println!("Ablation — broker synchronisation period\n");
+    let base = wc_alone(scale);
+
+    let mut t = Table::new(&["sync period", "wc slowdown", "broker msgs", "broker KB"]);
+    for period_ms in [250u64, 1000, 4000, 16000] {
+        let mut cluster = hdd_cluster(d2_policy(|_| {}));
+        cluster.sync_period = SimDuration::from_millis(period_ms);
+        let mut exp = Experiment::new(cluster);
+        exp.add_job(wc_half(scale).io_weight(32.0));
+        exp.add_job(tg_half(scale).io_weight(1.0));
+        let r = exp.run();
+        let sd = slowdown_pct(r.runtime_secs("WordCount").expect("wc"), base);
+        t.row(&[
+            format!("{period_ms} ms"),
+            format!("{sd:+.0}%"),
+            format!("{}", r.broker.reports),
+            format!("{:.1}", r.broker.payload_bytes as f64 / 1e3),
+        ]);
+        sink.record(&format!("p{period_ms}_slowdown_pct"), sd);
+        sink.record(&format!("p{period_ms}_broker_kb"), r.broker.payload_bytes as f64 / 1e3);
+    }
+    t.print();
+    sink.note(
+        "§5: more frequent coordination reduces transient unfairness but \
+         costs messages — and the message volume is tiny either way.",
+    );
+    sink
+}
+
+/// DSFQ delay-cap sweep (`ablate_delay_cap`).
+pub fn delay_cap(scale: ScaleProfile) -> ResultSink {
+    let mut sink = ResultSink::new("ablate_delay_cap", scale.label());
+    println!("Ablation — DSFQ delay cap\n");
+    let base = wc_alone(scale);
+
+    let mut t = Table::new(&["delay cap", "wc slowdown", "tg runtime (s)"]);
+    for (label, cap) in [
+        ("none", None),
+        ("256 MiB", Some(256u64 << 20)),
+        ("16 MiB", Some(16u64 << 20)),
+    ] {
+        let cluster = hdd_cluster(d2_policy(|c| c.delay_cap = cap));
+        let mut exp = Experiment::new(cluster);
+        exp.add_job(wc_half(scale).io_weight(32.0));
+        exp.add_job(tg_half(scale).io_weight(1.0));
+        let r = exp.run();
+        let sd = slowdown_pct(r.runtime_secs("WordCount").expect("wc"), base);
+        t.row(&[
+            label.into(),
+            format!("{sd:+.0}%"),
+            format!("{:.0}", r.runtime_secs("TeraGen").expect("tg")),
+        ]);
+        sink.record(
+            &format!("cap_{}_slowdown_pct", label.replace(' ', "_")),
+            sd,
+        );
+    }
+    t.print();
+    sink.note(
+        "A tight cap weakens total-service accounting (a flow served \
+         heavily elsewhere is forgiven locally); uncapped follows DSFQ \
+         exactly.",
+    );
+    sink
+}
+
+/// HDFS write-pipelining window sweep (`ablate_write_window`).
+pub fn write_window(scale: ScaleProfile) -> ResultSink {
+    let mut sink = ResultSink::new("ablate_write_window", scale.label());
+    println!("Ablation — HDFS write-pipelining window (substrate model)\n");
+    let base = wc_alone(scale);
+
+    let mut t = Table::new(&["window", "native wc slowdown", "SFQ(D2) wc slowdown"]);
+    for window in [1u32, 4, 8, 16] {
+        let mut row = vec![format!("{window} chunks")];
+        for policy in [Policy::Native, d2_policy(|_| {})] {
+            let mut cluster = hdd_cluster(policy);
+            cluster.hdfs_write_window = window;
+            let (wc, _) = contended(scale, cluster);
+            row.push(format!("{:+.0}%", slowdown_pct(wc, base)));
+        }
+        sink.record(
+            &format!("w{window}_native_slowdown_pct"),
+            row[1].trim_end_matches('%').parse().unwrap_or(f64::NAN),
+        );
+        t.row(&row);
+    }
+    t.print();
+    sink.note(
+        "The window controls how aggressively a write-heavy job can flood \
+         the storage: at 1 (synchronous writes) even native scheduling \
+         barely interferes; at 8+ the paper's native-Hadoop contention \
+         appears. IBIS isolation holds across the sweep.",
+    );
+    sink
+}
+
+/// §9's extreme point: non-work-conserving strict partitioning vs the
+/// work-conserving schedulers (`ablate_strict`).
+pub fn strict(scale: ScaleProfile) -> ResultSink {
+    let mut sink = ResultSink::new("ablate_strict", scale.label());
+    println!("Ablation — strict (non-work-conserving) partitioning vs SFQ(D2)\n");
+    let base = wc_alone(scale);
+
+    let mut t = Table::new(&["policy", "wc slowdown", "thr MB/s"]);
+    let mut native_thr = 0.0;
+    for (label, policy) in [
+        ("Native", Policy::Native),
+        ("SFQ(D2)", d2_policy(|_| {})),
+        ("Strict(D=8)", Policy::Strict { depth: 8 }),
+    ] {
+        let (wc, thr) = contended(scale, hdd_cluster(policy));
+        if label == "Native" {
+            native_thr = thr;
+        }
+        let sd = slowdown_pct(wc, base);
+        t.row(&[
+            label.into(),
+            format!("{sd:+.0}%"),
+            format!("{thr:.0} ({:+.0}%)", (thr / native_thr - 1.0) * 100.0),
+        ]);
+        let key = label.to_lowercase().replace(['(', ')', '='], "_");
+        sink.record(&format!("{key}_slowdown_pct"), sd);
+        sink.record(&format!("{key}_thr_mbs"), thr);
+    }
+    t.print();
+    sink.note(
+        "The paper (§9): a non-work-conserving scheduler provides strict \
+         isolation but severely underutilises the storage — visible here \
+         as a throughput drop with no isolation gain over SFQ(D2).",
+    );
+    sink
+}
+
+/// §3 future work: weighted fair sharing on the network links
+/// (`ablate_network_control`). Run on a deliberately constrained GigE
+/// fabric where the paper's storage-endpoint-only control leaves the
+/// protected application's transfers at the mercy of TCP fair sharing.
+pub fn network_control(scale: ScaleProfile) -> ResultSink {
+    let mut sink = ResultSink::new("ablate_network_control", scale.label());
+    println!("Ablation — network bandwidth control (§3 future work), GigE fabric\n");
+
+    let mut base_cluster = hdd_cluster(Policy::Native);
+    base_cluster.nic_bw = 125e6;
+    let mut exp = Experiment::new(base_cluster);
+    exp.add_job(wc_half(scale));
+    let base = exp.run().runtime_secs("WordCount").expect("wc");
+
+    let mut t = Table::new(&["config", "wc slowdown", "tg runtime (s)"]);
+    for (label, policy, net) in [
+        ("Native", Policy::Native, false),
+        ("IBIS storage-only", d2_policy(|_| {}), false),
+        ("IBIS + net control", d2_policy(|_| {}), true),
+    ] {
+        let mut cluster = hdd_cluster(policy);
+        cluster.nic_bw = 125e6;
+        cluster.network_control = net;
+        let mut exp = Experiment::new(cluster);
+        exp.add_job(wc_half(scale).io_weight(32.0));
+        exp.add_job(tg_half(scale).io_weight(1.0));
+        let r = exp.run();
+        let sd = slowdown_pct(r.runtime_secs("WordCount").expect("wc"), base);
+        t.row(&[
+            label.into(),
+            format!("{sd:+.0}%"),
+            format!("{:.0}", r.runtime_secs("TeraGen").expect("tg")),
+        ]);
+        let key = label.to_lowercase().replace([' ', '-', '+'], "_").replace("__", "_");
+        sink.record(&format!("{key}_slowdown_pct"), sd);
+    }
+    t.print();
+    sink.note(
+        "§3 argues storage endpoint control suffices because storage \
+         saturates first and endpoint back-pressure throttles the network \
+         indirectly; on a fabric where that no longer holds, extending the \
+         weights to the links (the deferred OpenFlow-style control) \
+         recovers the isolation.",
+    );
+    sink
+}

@@ -1,0 +1,20 @@
+//! One module per regenerated table/figure (see DESIGN.md §4 for the
+//! index). Each exposes `run(scale) -> ResultSink`; the `src/bin/`
+//! wrappers print and save. Keeping the logic in the library lets the
+//! integration tests exercise downsized versions of every experiment and
+//! lets `all_experiments` drive the complete set.
+
+pub mod ablations;
+pub mod fig02_profiles;
+pub mod fig03_motivation;
+pub mod fig06_isolation_hdd;
+pub mod fig07_depth_trace;
+pub mod fig08_isolation_ssd;
+pub mod fig09_facebook;
+pub mod fig10_multiframework;
+pub mod fig11_prop_slowdown;
+pub mod fig12_coordination;
+pub mod fig13_overhead;
+pub mod tab01_config;
+pub mod tab02_resources;
+pub mod tab03_loc;

@@ -1,0 +1,83 @@
+//! Table 2 — resource usage of the IBIS machinery. The paper measures
+//! CPU/memory of the YARN daemons with and without IBIS; the simulation
+//! analogue reports the footprint of the scheduling machinery itself:
+//! scheduling decisions taken, broker message counts and payload bytes,
+//! broker state size, and the wall-clock cost of the simulated control
+//! plane per application run.
+
+use crate::experiments::{hdd_cluster, sfqd2, volumes};
+use crate::results::ResultSink;
+use crate::scale::ScaleProfile;
+use crate::table::Table;
+use ibis_cluster::prelude::*;
+use ibis_workloads::{teragen, terasort, wordcount};
+
+struct Usage {
+    decisions: u64,
+    broker_msgs: u64,
+    broker_bytes: u64,
+    events: u64,
+    wall_secs: f64,
+}
+
+fn measure(spec: ibis_mapreduce::JobSpec, policy: Policy) -> Usage {
+    let mut exp = Experiment::new(hdd_cluster(policy));
+    exp.add_job(spec);
+    let r = exp.run();
+    Usage {
+        decisions: r.sched_decisions,
+        broker_msgs: r.broker.reports + r.broker.replies,
+        broker_bytes: r.broker.payload_bytes,
+        events: r.events,
+        wall_secs: r.wall_secs,
+    }
+}
+
+/// Runs the table.
+pub fn run(scale: ScaleProfile) -> ResultSink {
+    let mut sink = ResultSink::new("tab02_resources", scale.label());
+    println!(
+        "Table 2 — IBIS machinery resource usage, native vs IBIS ({})\n",
+        scale.label()
+    );
+
+    let mut t = Table::new(&[
+        "benchmark",
+        "policy",
+        "sched decisions",
+        "broker msgs",
+        "broker KB",
+        "sim events",
+        "wall (s)",
+    ]);
+    for (name, spec) in [
+        ("WordCount", wordcount(scale.bytes(volumes::WORDCOUNT))),
+        ("TeraGen", teragen(scale.bytes(volumes::TERAGEN))),
+        ("TeraSort", terasort(scale.bytes(volumes::TERASORT))),
+    ] {
+        for (plabel, policy) in [("Native", Policy::Native), ("IBIS", sfqd2())] {
+            let u = measure(spec.clone(), policy);
+            t.row(&[
+                name.into(),
+                plabel.into(),
+                u.decisions.to_string(),
+                u.broker_msgs.to_string(),
+                format!("{:.1}", u.broker_bytes as f64 / 1e3),
+                u.events.to_string(),
+                format!("{:.2}", u.wall_secs),
+            ]);
+            let key = format!("{}_{}", name.to_lowercase(), plabel.to_lowercase());
+            sink.record(&format!("{key}_decisions"), u.decisions as f64);
+            sink.record(&format!("{key}_broker_kb"), u.broker_bytes as f64 / 1e3);
+        }
+    }
+    t.print();
+
+    sink.note(
+        "Paper: IBIS raises daemon CPU from ≤1.7% to ≤5.1% per core and \
+         memory from ≤2% to ≤10.6% per node. Analogue targets: scheduling \
+         decisions scale with I/O count (a few per request); broker traffic \
+         is bounded by apps × nodes × period, independent of data volume.",
+    );
+    sink
+}

@@ -1,0 +1,107 @@
+//! Machine-readable result recording.
+//!
+//! Every figure binary writes its measured values to
+//! `results/<experiment>.json` so EXPERIMENTS.md entries can be
+//! regenerated and diffed across runs.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Collects named measurements for one experiment and writes them as a
+/// JSON object on drop-free explicit save.
+#[derive(Debug, Serialize)]
+pub struct ResultSink {
+    /// Experiment id ("fig06", "tab02", …).
+    pub experiment: String,
+    /// Scale label the run used.
+    pub scale: String,
+    /// Ordered (key, value) measurements.
+    pub values: Vec<(String, f64)>,
+    /// Free-form notes (series data, caveats).
+    pub notes: Vec<String>,
+}
+
+impl ResultSink {
+    /// Creates a sink for `experiment`.
+    pub fn new(experiment: &str, scale: &str) -> Self {
+        ResultSink {
+            experiment: experiment.to_string(),
+            scale: scale.to_string(),
+            values: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Records one measurement.
+    pub fn record(&mut self, key: &str, value: f64) -> &mut Self {
+        self.values.push((key.to_string(), value));
+        self
+    }
+
+    /// Records a note.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Looks up a recorded value.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.values
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+    }
+
+    /// Writes `results/<experiment>.json` under `root` (defaults to the
+    /// workspace `results/` when `IBIS_RESULTS_DIR` is unset). Errors are
+    /// reported but non-fatal — figures still print to stdout.
+    pub fn save(&self) {
+        let dir: PathBuf = std::env::var("IBIS_RESULTS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("results"));
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{}.json", self.experiment));
+        match serde_json::to_string_pretty(self) {
+            Ok(json) => {
+                if let Err(e) = fs::write(&path, json) {
+                    eprintln!("warning: cannot write {}: {e}", path.display());
+                } else {
+                    eprintln!("(results saved to {})", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: serialise results: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_get() {
+        let mut s = ResultSink::new("figX", "quick");
+        s.record("wc_alone_s", 100.0).record("wc_native_s", 207.0);
+        assert_eq!(s.get("wc_alone_s"), Some(100.0));
+        assert_eq!(s.get("missing"), None);
+        assert_eq!(s.values.len(), 2);
+    }
+
+    #[test]
+    fn save_respects_env_dir() {
+        let dir = std::env::temp_dir().join(format!("ibis-results-{}", std::process::id()));
+        std::env::set_var("IBIS_RESULTS_DIR", &dir);
+        let mut s = ResultSink::new("unit-test", "quick");
+        s.record("x", 1.0);
+        s.save();
+        let path = dir.join("unit-test.json");
+        let data = std::fs::read_to_string(&path).expect("file written");
+        assert!(data.contains("\"unit-test\""));
+        std::env::remove_var("IBIS_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

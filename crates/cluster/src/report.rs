@@ -1,0 +1,161 @@
+//! Experiment results.
+
+use ibis_core::broker::BrokerStats;
+use ibis_core::AppId;
+use ibis_simcore::metrics::{GaugeTrace, Histogram, TimeSeries};
+use ibis_simcore::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// One finished job.
+#[derive(Debug, Clone)]
+pub struct JobSummary {
+    /// Job name from its spec.
+    pub name: String,
+    /// The IBIS application id its I/O was tagged with.
+    pub app: AppId,
+    /// Submission instant.
+    pub submitted: SimTime,
+    /// Completion instant.
+    pub finished: SimTime,
+    /// End-to-end runtime.
+    pub runtime: SimDuration,
+    /// Submission → last map completion.
+    pub map_phase: SimDuration,
+    /// Last map completion → job completion.
+    pub reduce_phase: SimDuration,
+}
+
+/// A completed Hive query (workflow).
+#[derive(Debug, Clone)]
+pub struct QuerySummary {
+    /// Query name ("Q9").
+    pub name: String,
+    /// First-stage application id.
+    pub first_app: AppId,
+    /// End-to-end runtime across all stages.
+    pub runtime: SimDuration,
+}
+
+/// Everything a bench binary needs to print a paper figure.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Finished jobs, in submission order (workflow stages included).
+    pub jobs: Vec<JobSummary>,
+    /// Finished Hive queries.
+    pub queries: Vec<QuerySummary>,
+    /// Cluster-wide read throughput per application.
+    pub app_read: HashMap<AppId, TimeSeries>,
+    /// Cluster-wide write throughput per application.
+    pub app_write: HashMap<AppId, TimeSeries>,
+    /// Total cluster read throughput.
+    pub total_read: Option<TimeSeries>,
+    /// Total cluster write throughput.
+    pub total_write: Option<TimeSeries>,
+    /// Total bytes of I/O service delivered per application (all nodes,
+    /// all classes).
+    pub app_service: HashMap<AppId, u64>,
+    /// Device-latency distribution (nanoseconds) per application across
+    /// all interposed I/Os — the per-request view behind the runtime
+    /// numbers: isolation shows up as a bounded tail for the protected
+    /// application.
+    pub app_latency: HashMap<AppId, Histogram>,
+    /// Fig. 7: depth trace of the traced node's HDFS scheduler.
+    pub depth_trace: Option<GaugeTrace>,
+    /// Fig. 7: per-period mean latency (ms) of the traced scheduler.
+    pub latency_trace: Option<GaugeTrace>,
+    /// Broker overhead counters (zeros when coordination is off).
+    pub broker: BrokerStats,
+    /// Total scheduling decisions across all schedulers (Table 2 proxy).
+    pub sched_decisions: u64,
+    /// Simulated end time of the last event.
+    pub makespan: SimDuration,
+    /// Wall-clock seconds the simulation took (harness overhead metric).
+    pub wall_secs: f64,
+    /// Events processed (simulator throughput diagnostics).
+    pub events: u64,
+    /// The SFQ(D2) reference latencies used, if profiling ran
+    /// (hdfs-read, hdfs-write, scratch-read, scratch-write) in ms.
+    pub reference_latencies_ms: Option<[f64; 4]>,
+}
+
+impl RunReport {
+    /// The summary for the first job whose name matches.
+    pub fn job(&self, name: &str) -> Option<&JobSummary> {
+        self.jobs.iter().find(|j| j.name == name)
+    }
+
+    /// Runtime of the first job whose name matches, in seconds.
+    pub fn runtime_secs(&self, name: &str) -> Option<f64> {
+        self.job(name).map(|j| j.runtime.as_secs_f64())
+    }
+
+    /// The summary for a query by name.
+    pub fn query(&self, name: &str) -> Option<&QuerySummary> {
+        self.queries.iter().find(|q| q.name == name)
+    }
+
+    /// Slowdown of `runtime` relative to `baseline` (1.0 = unchanged,
+    /// 2.07 = the paper's "107 % slowdown").
+    pub fn slowdown(runtime: f64, baseline: f64) -> f64 {
+        if baseline <= 0.0 {
+            return f64::NAN;
+        }
+        runtime / baseline
+    }
+
+    /// An application's latency quantile in milliseconds, if it did any
+    /// I/O.
+    pub fn latency_ms(&self, app: AppId, q: f64) -> Option<f64> {
+        self.app_latency
+            .get(&app)
+            .and_then(|h| h.quantile(q))
+            .map(|ns| ns as f64 / 1e6)
+    }
+
+    /// Mean total throughput (bytes/sec) over the run: all I/O divided by
+    /// the makespan — the Fig. 6b metric.
+    pub fn mean_total_throughput(&self) -> f64 {
+        let total: u64 = self.app_service.values().sum();
+        let secs = self.makespan.as_secs_f64();
+        if secs > 0.0 {
+            total as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slowdown_math() {
+        assert!((RunReport::slowdown(207.0, 100.0) - 2.07).abs() < 1e-12);
+        assert!(RunReport::slowdown(1.0, 0.0).is_nan());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut r = RunReport::default();
+        r.jobs.push(JobSummary {
+            name: "WordCount".into(),
+            app: AppId(1),
+            submitted: SimTime::ZERO,
+            finished: SimTime::from_secs(10),
+            runtime: SimDuration::from_secs(10),
+            map_phase: SimDuration::from_secs(7),
+            reduce_phase: SimDuration::from_secs(3),
+        });
+        assert_eq!(r.runtime_secs("WordCount"), Some(10.0));
+        assert!(r.job("TeraGen").is_none());
+    }
+
+    #[test]
+    fn mean_throughput() {
+        let mut r = RunReport::default();
+        r.app_service.insert(AppId(1), 1_000_000);
+        r.makespan = SimDuration::from_secs(10);
+        assert_eq!(r.mean_total_throughput(), 100_000.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! The centralized Scheduling Broker (§5).
+//!
+//! Every local SFQ(D2) scheduler periodically sends the broker its *local
+//! I/O service distribution* — a vector of `(application, bytes served
+//! locally since the last report)`. The broker folds these into running
+//! totals `A_i = Σ_j a_ij` and replies with the total-service vector for
+//! exactly the applications the reporting scheduler serves. The local
+//! scheduler then applies the DSFQ delay rule with these totals (see
+//! [`crate::sfq`]).
+//!
+//! The design points the paper argues for are visible in the API:
+//!
+//! * **State is tiny** — one `u64` per live application
+//!   ([`SchedulingBroker::state_bytes`]).
+//! * **Messages are bounded by the apps a scheduler serves**, not the
+//!   cluster size; [`BrokerStats`] counts messages and payload bytes so
+//!   the Table 2 / scalability analysis can be regenerated.
+//! * In Hadoop the exchange piggybacks on Resource Manager heartbeats; the
+//!   cluster simulator models it as a periodic control-plane event with
+//!   the same payload accounting.
+
+use crate::request::AppId;
+use std::collections::HashMap;
+
+/// Wire-size model: each (app id, byte count) pair costs 12 bytes
+/// (u32 + u64), plus a fixed per-message header.
+const ENTRY_BYTES: u64 = 12;
+/// Fixed header per report or reply message.
+const HEADER_BYTES: u64 = 16;
+
+/// Overhead counters for the coordination plane.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BrokerStats {
+    /// Report messages received from local schedulers.
+    pub reports: u64,
+    /// Reply messages sent back.
+    pub replies: u64,
+    /// Total payload bytes in both directions.
+    pub payload_bytes: u64,
+}
+
+/// The centralized broker. One instance per cluster, embedded in the
+/// Resource Manager in the Hadoop prototype.
+#[derive(Debug, Clone, Default)]
+pub struct SchedulingBroker {
+    totals: HashMap<AppId, u64>,
+    stats: BrokerStats,
+}
+
+impl SchedulingBroker {
+    /// Creates an empty broker.
+    pub fn new() -> Self {
+        SchedulingBroker::default()
+    }
+
+    /// Processes one report from a local scheduler and returns the reply:
+    /// the cluster-wide total service for each application in the report.
+    ///
+    /// An empty report yields an empty reply (and, matching the
+    /// piggybacking design, costs only headers).
+    pub fn report(&mut self, local: &[(AppId, u64)]) -> Vec<(AppId, u64)> {
+        self.stats.reports += 1;
+        self.stats.payload_bytes += HEADER_BYTES + ENTRY_BYTES * local.len() as u64;
+        for &(app, bytes) in local {
+            *self.totals.entry(app).or_insert(0) += bytes;
+        }
+        let reply: Vec<(AppId, u64)> = local
+            .iter()
+            .map(|&(app, _)| (app, self.totals[&app]))
+            .collect();
+        self.stats.replies += 1;
+        self.stats.payload_bytes += HEADER_BYTES + ENTRY_BYTES * reply.len() as u64;
+        reply
+    }
+
+    /// Cluster-wide total service for `app`, if known.
+    pub fn total(&self, app: AppId) -> Option<u64> {
+        self.totals.get(&app).copied()
+    }
+
+    /// Removes a finished application's state (the job scheduler notifies
+    /// the broker on application completion).
+    pub fn retire(&mut self, app: AppId) {
+        self.totals.remove(&app);
+    }
+
+    /// Number of live applications tracked.
+    pub fn live_apps(&self) -> usize {
+        self.totals.len()
+    }
+
+    /// The broker's in-memory state footprint in bytes — "simply a vector
+    /// of total I/O service amount for all the applications currently in
+    /// the system" (§5).
+    pub fn state_bytes(&self) -> u64 {
+        ENTRY_BYTES * self.totals.len() as u64
+    }
+
+    /// Overhead counters.
+    pub fn stats(&self) -> BrokerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: AppId = AppId(1);
+    const B: AppId = AppId(2);
+
+    #[test]
+    fn totals_accumulate_across_reporters() {
+        let mut broker = SchedulingBroker::new();
+        // node 1 reports A=100
+        let r1 = broker.report(&[(A, 100)]);
+        assert_eq!(r1, vec![(A, 100)]);
+        // node 2 reports A=50, B=30
+        let r2 = broker.report(&[(A, 50), (B, 30)]);
+        assert_eq!(r2, vec![(A, 150), (B, 30)]);
+        // node 1 again, only A
+        let r3 = broker.report(&[(A, 25)]);
+        assert_eq!(r3, vec![(A, 175)]);
+        assert_eq!(broker.total(B), Some(30));
+    }
+
+    #[test]
+    fn reply_covers_only_reported_apps() {
+        let mut broker = SchedulingBroker::new();
+        broker.report(&[(A, 100), (B, 200)]);
+        let reply = broker.report(&[(B, 1)]);
+        assert_eq!(reply, vec![(B, 201)]);
+    }
+
+    #[test]
+    fn empty_report_is_cheap() {
+        let mut broker = SchedulingBroker::new();
+        let reply = broker.report(&[]);
+        assert!(reply.is_empty());
+        let s = broker.stats();
+        assert_eq!(s.payload_bytes, 2 * 16);
+    }
+
+    #[test]
+    fn message_accounting_scales_with_entries() {
+        let mut broker = SchedulingBroker::new();
+        broker.report(&[(A, 1), (B, 1)]);
+        let s = broker.stats();
+        assert_eq!(s.reports, 1);
+        assert_eq!(s.replies, 1);
+        assert_eq!(s.payload_bytes, (16 + 2 * 12) * 2);
+    }
+
+    #[test]
+    fn retire_frees_state() {
+        let mut broker = SchedulingBroker::new();
+        broker.report(&[(A, 1), (B, 1)]);
+        assert_eq!(broker.live_apps(), 2);
+        assert_eq!(broker.state_bytes(), 24);
+        broker.retire(A);
+        assert_eq!(broker.live_apps(), 1);
+        assert_eq!(broker.total(A), None);
+    }
+
+    #[test]
+    fn state_is_independent_of_node_count() {
+        // 1000 nodes reporting the same two apps: state stays 2 entries.
+        let mut broker = SchedulingBroker::new();
+        for _ in 0..1000 {
+            broker.report(&[(A, 1), (B, 1)]);
+        }
+        assert_eq!(broker.live_apps(), 2);
+        assert_eq!(broker.total(A), Some(1000));
+    }
+}

@@ -1,0 +1,131 @@
+//! The interposed-request vocabulary.
+//!
+//! §3 of the paper: every I/O a big-data application issues — HDFS reads
+//! and writes, intermediate spill/merge traffic to the local file system,
+//! and shuffle transfers served by the Node Manager servlets — is
+//! intercepted by the IBIS layer and tagged with the application's id and
+//! I/O-service weight. [`Request`] is that tagged unit.
+
+use ibis_simcore::SimTime;
+use std::fmt;
+
+/// Identifier of a big-data application (a YARN application / MapReduce
+/// job / Hive query). "An application obtains its ID from the job
+/// scheduler, which is carried over to all of its parallel tasks and used
+/// by the tasks to tag their I/Os" (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AppId(pub u32);
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app{}", self.0)
+    }
+}
+
+/// Direction of an I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoKind {
+    /// Data flows from storage to the task.
+    Read,
+    /// Data flows from the task to storage.
+    Write,
+}
+
+impl IoKind {
+    /// True for [`IoKind::Read`].
+    pub fn is_read(self) -> bool {
+        matches!(self, IoKind::Read)
+    }
+}
+
+/// The three I/O phases the interposition layer distinguishes (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoClass {
+    /// HDFS I/O: map-task input reads and reduce-task output writes,
+    /// serviced by the Data Node daemon.
+    Persistent,
+    /// Local-file-system I/O for temporary data: map-side spills and
+    /// merges, reduce-side merge spills.
+    Intermediate,
+    /// Map-output reads served to remote reduce tasks by the Node Manager
+    /// HTTP servlets during the shuffle.
+    Shuffle,
+}
+
+/// One interposed I/O request, the unit every IBIS scheduler queues and
+/// dispatches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Unique request id, assigned by the issuer.
+    pub id: u64,
+    /// Owning application.
+    pub app: AppId,
+    /// Which interposed interface this request came through.
+    pub class: IoClass,
+    /// Read or write.
+    pub kind: IoKind,
+    /// Request size in bytes — also the SFQ cost: proportional sharing in
+    /// IBIS is sharing of *bytes of I/O service*.
+    pub bytes: u64,
+    /// Sequential-stream key, forwarded to the device model.
+    pub stream: u64,
+    /// When the request reached the scheduler.
+    pub submitted: SimTime,
+}
+
+impl Request {
+    /// Convenience constructor for tests and benchmarks.
+    pub fn new(id: u64, app: AppId, kind: IoKind, bytes: u64) -> Self {
+        Request {
+            id,
+            app,
+            class: IoClass::Persistent,
+            kind,
+            bytes,
+            stream: app.0 as u64,
+            submitted: SimTime::ZERO,
+        }
+    }
+
+    /// Sets the I/O class (builder style).
+    pub fn with_class(mut self, class: IoClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Sets the stream key (builder style).
+    pub fn with_stream(mut self, stream: u64) -> Self {
+        self.stream = stream;
+        self
+    }
+
+    /// Sets the submission time (builder style).
+    pub fn with_submitted(mut self, at: SimTime) -> Self {
+        self.submitted = at;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let r = Request::new(1, AppId(3), IoKind::Write, 42)
+            .with_class(IoClass::Shuffle)
+            .with_stream(99)
+            .with_submitted(SimTime::from_secs(5));
+        assert_eq!(r.id, 1);
+        assert_eq!(r.app, AppId(3));
+        assert_eq!(r.class, IoClass::Shuffle);
+        assert_eq!(r.stream, 99);
+        assert_eq!(r.submitted, SimTime::from_secs(5));
+        assert!(!r.kind.is_read());
+    }
+
+    #[test]
+    fn app_id_display() {
+        assert_eq!(AppId(7).to_string(), "app7");
+    }
+}

@@ -1,0 +1,585 @@
+//! SFQ(D): start-time fair queuing over a concurrent server, with the
+//! DSFQ total-service delay extension.
+//!
+//! The algorithm (§4 of the paper; Jin et al., SIGMETRICS'04):
+//!
+//! * Every request `r` of flow `f` (cost `c` = bytes, weight `φ_f`) gets a
+//!   **start tag** `S(r) = max(v, F_prev(f) + δ/φ_f)` and a **finish tag**
+//!   `F(r) = S(r) + c/φ_f`, where `F_prev(f)` is the finish tag of `f`'s
+//!   previous request and `v` is the virtual time — the start tag of the
+//!   most recently dispatched request.
+//! * Up to `D` requests may be outstanding at the device; whenever a slot
+//!   frees, the queued request with the smallest start tag is dispatched
+//!   (FIFO among ties).
+//!
+//! `δ` is the DSFQ delay (Wang & Merchant, FAST'07), the mechanism §5 uses
+//! for *total-service* proportional sharing: it equals the I/O service the
+//! flow received **on other datanodes** since its previous local request,
+//! as learned from the scheduling broker. A flow that is being served
+//! generously elsewhere has its local start tags pushed back, so the local
+//! scheduler compensates and the *cluster-wide* service converges to the
+//! weight ratio. With no broker attached `δ` is always zero and this is
+//! exactly classic SFQ(D).
+
+use crate::request::{AppId, IoKind, Request};
+use crate::scheduler::{IoScheduler, SchedStats};
+use ibis_simcore::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Configuration for [`SfqD`].
+#[derive(Debug, Clone)]
+pub struct SfqConfig {
+    /// Number of requests allowed outstanding at the device (the `D` in
+    /// SFQ(D)).
+    pub depth: u32,
+    /// Upper bound, in bytes, on the DSFQ delay consumed per arrival.
+    /// `None` applies the full observed foreign service. A cap trades
+    /// total-service accuracy for protection against long stalls when a
+    /// flow returns to a node after consuming heavily elsewhere (ablation
+    /// `ablate_delay_cap`).
+    pub delay_cap: Option<u64>,
+}
+
+impl Default for SfqConfig {
+    fn default() -> Self {
+        SfqConfig {
+            depth: 8,
+            delay_cap: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct FlowState {
+    weight: f64,
+    /// Finish tag of the flow's most recent arrival.
+    finish_tag: f64,
+    /// Bytes of completed local service, cumulative.
+    local_service: u64,
+    /// Portion of `local_service` not yet drained to the broker.
+    unreported: u64,
+    /// Total foreign (other-node) service learned from the broker,
+    /// cumulative and monotone.
+    foreign_total: u64,
+    /// Portion of `foreign_total` already folded into start tags.
+    foreign_consumed: u64,
+    /// Requests queued for this flow (for introspection only).
+    backlog: usize,
+}
+
+impl FlowState {
+    fn new(weight: f64) -> Self {
+        FlowState {
+            weight,
+            ..FlowState::default()
+        }
+    }
+}
+
+struct HeapEntry {
+    start: f64,
+    seq: u64,
+    req: Request,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert for min-(start, seq).
+        other
+            .start
+            .total_cmp(&self.start)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The SFQ(D) scheduler. See the module docs for the algorithm.
+pub struct SfqD {
+    cfg: SfqConfig,
+    flows: HashMap<AppId, FlowState>,
+    queue: BinaryHeap<HeapEntry>,
+    /// Virtual time: start tag of the most recently dispatched request.
+    vtime: f64,
+    outstanding: u32,
+    next_seq: u64,
+    stats: SchedStats,
+}
+
+impl SfqD {
+    /// Creates a scheduler from its configuration.
+    pub fn new(cfg: SfqConfig) -> Self {
+        assert!(cfg.depth >= 1, "SFQ(D) needs D >= 1");
+        SfqD {
+            cfg,
+            flows: HashMap::new(),
+            queue: BinaryHeap::new(),
+            vtime: 0.0,
+            outstanding: 0,
+            next_seq: 0,
+            stats: SchedStats::default(),
+        }
+    }
+
+    /// Current depth bound.
+    pub fn depth(&self) -> u32 {
+        self.cfg.depth
+    }
+
+    /// Changes the depth bound; used by the SFQ(D2) controller. Raising it
+    /// takes effect on the next `pop_dispatch`; lowering it never revokes
+    /// already-outstanding requests (they drain naturally).
+    pub fn set_depth(&mut self, depth: u32) {
+        self.cfg.depth = depth.max(1);
+    }
+
+    /// Number of queued requests belonging to `app`.
+    pub fn backlog(&self, app: AppId) -> usize {
+        self.flows.get(&app).map_or(0, |f| f.backlog)
+    }
+
+    /// The current virtual time (for tests and invariant checks).
+    pub fn virtual_time(&self) -> f64 {
+        self.vtime
+    }
+
+    fn flow_mut(&mut self, app: AppId) -> &mut FlowState {
+        self.flows.entry(app).or_insert_with(|| FlowState::new(1.0))
+    }
+}
+
+impl IoScheduler for SfqD {
+    fn set_weight(&mut self, app: AppId, weight: f64) {
+        assert!(weight > 0.0, "weights must be positive");
+        self.flow_mut(app).weight = weight;
+    }
+
+    fn submit(&mut self, req: Request, _now: SimTime) {
+        let cap = self.cfg.delay_cap;
+        let vtime = self.vtime;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+
+        let flow = self.flow_mut(req.app);
+        // DSFQ: consume the foreign service observed since this flow's
+        // previous local arrival.
+        let foreign = flow.foreign_total - flow.foreign_consumed;
+        flow.foreign_consumed = flow.foreign_total;
+        let delay = match cap {
+            Some(c) => foreign.min(c),
+            None => foreign,
+        };
+        let start = vtime.max(flow.finish_tag + delay as f64 / flow.weight);
+        let finish = start + req.bytes as f64 / flow.weight;
+        flow.finish_tag = finish;
+        flow.backlog += 1;
+
+        self.queue.push(HeapEntry { start, seq, req });
+        self.stats.submitted += 1;
+        self.stats.decisions += 1;
+    }
+
+    fn pop_dispatch(&mut self, _now: SimTime) -> Option<Request> {
+        if self.outstanding >= self.cfg.depth {
+            return None;
+        }
+        let entry = self.queue.pop()?;
+        self.vtime = self.vtime.max(entry.start);
+        self.outstanding += 1;
+        if let Some(flow) = self.flows.get_mut(&entry.req.app) {
+            flow.backlog -= 1;
+        }
+        self.stats.dispatched += 1;
+        self.stats.decisions += 1;
+        Some(entry.req)
+    }
+
+    fn on_complete(
+        &mut self,
+        app: AppId,
+        _kind: IoKind,
+        bytes: u64,
+        _latency: SimDuration,
+        _now: SimTime,
+    ) {
+        debug_assert!(self.outstanding > 0, "completion without dispatch");
+        self.outstanding = self.outstanding.saturating_sub(1);
+        self.stats.completed += 1;
+        self.stats.decisions += 1;
+        *self.stats.service.entry(app).or_insert(0) += bytes;
+        let flow = self.flow_mut(app);
+        flow.local_service += bytes;
+        flow.unreported += bytes;
+    }
+
+    fn on_tick(&mut self, _now: SimTime) {}
+
+    fn tick_period(&self) -> Option<SimDuration> {
+        None
+    }
+
+    fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn outstanding(&self) -> usize {
+        self.outstanding as usize
+    }
+
+    fn drain_service_report(&mut self) -> Vec<(AppId, u64)> {
+        let mut report: Vec<(AppId, u64)> = self
+            .flows
+            .iter_mut()
+            .filter(|(_, f)| f.unreported > 0)
+            .map(|(&app, f)| {
+                let d = f.unreported;
+                f.unreported = 0;
+                (app, d)
+            })
+            .collect();
+        // Deterministic order for the broker's byte accounting.
+        report.sort_by_key(|&(app, _)| app);
+        report
+    }
+
+    fn apply_global_service(&mut self, totals: &[(AppId, u64)], _now: SimTime) {
+        for &(app, total) in totals {
+            let flow = self.flow_mut(app);
+            let foreign = total.saturating_sub(flow.local_service);
+            // Monotone: the broker may be momentarily behind our local view.
+            flow.foreign_total = flow.foreign_total.max(foreign);
+        }
+        self.stats.decisions += 1;
+    }
+
+    fn stats(&self) -> &SchedStats {
+        &self.stats
+    }
+
+    fn current_depth(&self) -> Option<u32> {
+        Some(self.cfg.depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::IoClass;
+
+    const A: AppId = AppId(1);
+    const B: AppId = AppId(2);
+
+    fn req(id: u64, app: AppId, bytes: u64) -> Request {
+        Request::new(id, app, IoKind::Read, bytes)
+    }
+
+    fn drain_order(s: &mut SfqD) -> Vec<u64> {
+        let mut order = Vec::new();
+        loop {
+            while let Some(r) = s.pop_dispatch(SimTime::ZERO) {
+                order.push(r.id);
+                s.on_complete(r.app, r.kind, r.bytes, SimDuration::ZERO, SimTime::ZERO);
+            }
+            if s.queued() == 0 {
+                break;
+            }
+        }
+        order
+    }
+
+    #[test]
+    fn fifo_within_single_flow() {
+        let mut s = SfqD::new(SfqConfig { depth: 1, ..Default::default() });
+        for i in 0..5 {
+            s.submit(req(i, A, 100), SimTime::ZERO);
+        }
+        assert_eq!(drain_order(&mut s), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn equal_weights_interleave() {
+        let mut s = SfqD::new(SfqConfig { depth: 1, ..Default::default() });
+        s.set_weight(A, 1.0);
+        s.set_weight(B, 1.0);
+        // A floods first, then B: equal weights must interleave, not FIFO.
+        for i in 0..4 {
+            s.submit(req(i, A, 100), SimTime::ZERO);
+        }
+        for i in 10..14 {
+            s.submit(req(i, B, 100), SimTime::ZERO);
+        }
+        let order = drain_order(&mut s);
+        // First request of B must be served long before A drains.
+        let first_b = order.iter().position(|&id| id >= 10).unwrap();
+        assert!(first_b <= 2, "B starved: {order:?}");
+        // Counting service in any prefix: |served_A - served_B| <= 1 + 1.
+        let mut a = 0i64;
+        let mut b = 0i64;
+        for &id in &order[..6] {
+            if id < 10 {
+                a += 1;
+            } else {
+                b += 1;
+            }
+        }
+        assert!((a - b).abs() <= 2, "unfair prefix: {order:?}");
+    }
+
+    #[test]
+    fn weights_skew_service() {
+        // weight 3:1, equal request sizes → A gets ~3 of every 4 services
+        let mut s = SfqD::new(SfqConfig { depth: 1, ..Default::default() });
+        s.set_weight(A, 3.0);
+        s.set_weight(B, 1.0);
+        for i in 0..30 {
+            s.submit(req(i, A, 100), SimTime::ZERO);
+        }
+        for i in 100..130 {
+            s.submit(req(i, B, 100), SimTime::ZERO);
+        }
+        let order = drain_order(&mut s);
+        let a_in_first_20 = order[..20].iter().filter(|&&id| id < 100).count();
+        assert!(
+            (14..=16).contains(&a_in_first_20),
+            "expected ~15 A services in first 20, got {a_in_first_20}: {order:?}"
+        );
+    }
+
+    #[test]
+    fn cost_by_bytes_not_count() {
+        // B's requests are 4× larger; equal weights → A should get ~4× the
+        // request count so that *bytes* are equal.
+        let mut s = SfqD::new(SfqConfig { depth: 1, ..Default::default() });
+        for i in 0..40 {
+            s.submit(req(i, A, 100), SimTime::ZERO);
+        }
+        for i in 100..110 {
+            s.submit(req(i, B, 400), SimTime::ZERO);
+        }
+        let order = drain_order(&mut s);
+        let a_bytes: u64 = order[..25].iter().filter(|&&id| id < 100).count() as u64 * 100;
+        let b_bytes: u64 = order[..25].iter().filter(|&&id| id >= 100).count() as u64 * 400;
+        let ratio = a_bytes as f64 / b_bytes.max(1) as f64;
+        assert!(
+            (0.6..=1.6).contains(&ratio),
+            "byte-shares not balanced: A={a_bytes} B={b_bytes} ({order:?})"
+        );
+    }
+
+    #[test]
+    fn depth_bounds_outstanding() {
+        let mut s = SfqD::new(SfqConfig { depth: 3, ..Default::default() });
+        for i in 0..10 {
+            s.submit(req(i, A, 100), SimTime::ZERO);
+        }
+        let mut got = Vec::new();
+        while let Some(r) = s.pop_dispatch(SimTime::ZERO) {
+            got.push(r);
+        }
+        assert_eq!(got.len(), 3);
+        assert_eq!(s.outstanding(), 3);
+        assert_eq!(s.queued(), 7);
+        // Completing one frees one slot.
+        s.on_complete(A, IoKind::Read, 100, SimDuration::ZERO, SimTime::ZERO);
+        assert!(s.pop_dispatch(SimTime::ZERO).is_some());
+        assert!(s.pop_dispatch(SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn set_depth_applies_immediately_upward() {
+        let mut s = SfqD::new(SfqConfig { depth: 1, ..Default::default() });
+        for i in 0..4 {
+            s.submit(req(i, A, 100), SimTime::ZERO);
+        }
+        assert!(s.pop_dispatch(SimTime::ZERO).is_some());
+        assert!(s.pop_dispatch(SimTime::ZERO).is_none());
+        s.set_depth(3);
+        assert!(s.pop_dispatch(SimTime::ZERO).is_some());
+        assert!(s.pop_dispatch(SimTime::ZERO).is_some());
+        assert!(s.pop_dispatch(SimTime::ZERO).is_none());
+        assert_eq!(s.outstanding(), 3);
+    }
+
+    #[test]
+    fn set_depth_never_revokes() {
+        let mut s = SfqD::new(SfqConfig { depth: 4, ..Default::default() });
+        for i in 0..4 {
+            s.submit(req(i, A, 100), SimTime::ZERO);
+        }
+        while s.pop_dispatch(SimTime::ZERO).is_some() {}
+        assert_eq!(s.outstanding(), 4);
+        s.set_depth(1);
+        assert_eq!(s.outstanding(), 4);
+        // New dispatches blocked until we drain below 1.
+        s.submit(req(10, A, 100), SimTime::ZERO);
+        assert!(s.pop_dispatch(SimTime::ZERO).is_none());
+        for _ in 0..4 {
+            s.on_complete(A, IoKind::Read, 100, SimDuration::ZERO, SimTime::ZERO);
+        }
+        assert!(s.pop_dispatch(SimTime::ZERO).is_some());
+    }
+
+    #[test]
+    fn idle_flow_gets_no_credit() {
+        // A serves 10 requests while B is idle; B's first request must not
+        // pre-empt the *entire* backlog it "missed" — SFQ start tags jump
+        // to the current virtual time.
+        let mut s = SfqD::new(SfqConfig { depth: 1, ..Default::default() });
+        for i in 0..10 {
+            s.submit(req(i, A, 100), SimTime::ZERO);
+        }
+        // serve 5 of A
+        for _ in 0..5 {
+            let r = s.pop_dispatch(SimTime::ZERO).unwrap();
+            s.on_complete(r.app, r.kind, r.bytes, SimDuration::ZERO, SimTime::ZERO);
+        }
+        // B arrives: should interleave with A's remaining 5, not get 5 free
+        // services.
+        for i in 100..105 {
+            s.submit(req(i, B, 100), SimTime::ZERO);
+        }
+        let order = drain_order(&mut s);
+        let b_in_first_4 = order[..4].iter().filter(|&&id| id >= 100).count();
+        assert!(b_in_first_4 <= 3, "B got idle credit: {order:?}");
+        // but B is not starved either
+        assert!(order[..4].iter().any(|&id| id >= 100), "{order:?}");
+    }
+
+    #[test]
+    fn dsfq_delay_pushes_flow_back() {
+        // Two flows, equal weights. The broker tells us A already received
+        // lots of service elsewhere; A's next requests must yield to B.
+        let mut s = SfqD::new(SfqConfig { depth: 1, ..Default::default() });
+        s.set_weight(A, 1.0);
+        s.set_weight(B, 1.0);
+        s.apply_global_service(&[(A, 1000)], SimTime::ZERO);
+        for i in 0..5 {
+            s.submit(req(i, A, 100), SimTime::ZERO);
+        }
+        for i in 100..105 {
+            s.submit(req(i, B, 100), SimTime::ZERO);
+        }
+        let order = drain_order(&mut s);
+        // A owes 1000 bytes = 10 services of 100; B's 5 requests all go
+        // first.
+        assert_eq!(
+            order[..5].iter().filter(|&&id| id >= 100).count(),
+            5,
+            "foreign service not charged: {order:?}"
+        );
+    }
+
+    #[test]
+    fn dsfq_delay_consumed_once() {
+        let mut s = SfqD::new(SfqConfig { depth: 1, ..Default::default() });
+        s.apply_global_service(&[(A, 500)], SimTime::ZERO);
+        s.submit(req(0, A, 100), SimTime::ZERO); // consumes the 500 delay
+        s.submit(req(1, A, 100), SimTime::ZERO); // must not pay again
+        let r0 = s.pop_dispatch(SimTime::ZERO).unwrap();
+        s.on_complete(r0.app, r0.kind, r0.bytes, SimDuration::ZERO, SimTime::ZERO);
+        // After both arrivals, flow finish tag reflects 500 delay once:
+        // S(r0) = 500, F = 600; S(r1) = 600, F = 700.
+        let f = s.flows.get(&A).unwrap();
+        assert_eq!(f.finish_tag, 700.0);
+    }
+
+    #[test]
+    fn dsfq_delay_cap_limits_stall() {
+        let mut s = SfqD::new(SfqConfig {
+            depth: 1,
+            delay_cap: Some(100),
+        });
+        s.apply_global_service(&[(A, 10_000)], SimTime::ZERO);
+        s.submit(req(0, A, 100), SimTime::ZERO);
+        let f = s.flows.get(&A).unwrap();
+        // capped: S = 100 (not 10 000), F = 200
+        assert_eq!(f.finish_tag, 200.0);
+    }
+
+    #[test]
+    fn global_totals_below_local_are_ignored() {
+        let mut s = SfqD::new(SfqConfig::default());
+        s.submit(req(0, A, 100), SimTime::ZERO);
+        let r = s.pop_dispatch(SimTime::ZERO).unwrap();
+        s.on_complete(r.app, r.kind, r.bytes, SimDuration::ZERO, SimTime::ZERO);
+        // The broker lags: it reports less than we've locally delivered.
+        s.apply_global_service(&[(A, 50)], SimTime::ZERO);
+        let f = s.flows.get(&A).unwrap();
+        assert_eq!(f.foreign_total, 0);
+    }
+
+    #[test]
+    fn service_report_drains_exactly_once() {
+        let mut s = SfqD::new(SfqConfig::default());
+        s.submit(req(0, A, 100), SimTime::ZERO);
+        s.submit(req(1, B, 200), SimTime::ZERO);
+        while let Some(r) = s.pop_dispatch(SimTime::ZERO) {
+            s.on_complete(r.app, r.kind, r.bytes, SimDuration::ZERO, SimTime::ZERO);
+        }
+        let rep = s.drain_service_report();
+        assert_eq!(rep, vec![(A, 100), (B, 200)]);
+        assert!(s.drain_service_report().is_empty());
+        s.submit(req(2, A, 50), SimTime::ZERO);
+        let r = s.pop_dispatch(SimTime::ZERO).unwrap();
+        s.on_complete(r.app, r.kind, r.bytes, SimDuration::ZERO, SimTime::ZERO);
+        assert_eq!(s.drain_service_report(), vec![(A, 50)]);
+    }
+
+    #[test]
+    fn virtual_time_monotone() {
+        let mut s = SfqD::new(SfqConfig::default());
+        let mut last = s.virtual_time();
+        for i in 0..50 {
+            s.submit(req(i, if i % 2 == 0 { A } else { B }, 100 + i), SimTime::ZERO);
+        }
+        loop {
+            match s.pop_dispatch(SimTime::ZERO) {
+                Some(r) => {
+                    assert!(s.virtual_time() >= last);
+                    last = s.virtual_time();
+                    s.on_complete(r.app, r.kind, r.bytes, SimDuration::ZERO, SimTime::ZERO);
+                }
+                None if s.queued() == 0 => break,
+                None => {}
+            }
+        }
+    }
+
+    #[test]
+    fn stats_track_lifecycle() {
+        let mut s = SfqD::new(SfqConfig::default());
+        s.submit(
+            Request::new(0, A, IoKind::Write, 100).with_class(IoClass::Intermediate),
+            SimTime::ZERO,
+        );
+        let r = s.pop_dispatch(SimTime::ZERO).unwrap();
+        s.on_complete(r.app, r.kind, r.bytes, SimDuration::from_millis(5), SimTime::ZERO);
+        let st = s.stats();
+        assert_eq!(st.submitted, 1);
+        assert_eq!(st.dispatched, 1);
+        assert_eq!(st.completed, 1);
+        assert_eq!(st.service.get(&A), Some(&100));
+    }
+
+    #[test]
+    fn backlog_tracks_per_flow() {
+        let mut s = SfqD::new(SfqConfig { depth: 1, ..Default::default() });
+        s.submit(req(0, A, 100), SimTime::ZERO);
+        s.submit(req(1, A, 100), SimTime::ZERO);
+        s.submit(req(2, B, 100), SimTime::ZERO);
+        assert_eq!(s.backlog(A), 2);
+        assert_eq!(s.backlog(B), 1);
+        let _ = s.pop_dispatch(SimTime::ZERO).unwrap();
+        assert_eq!(s.backlog(A) + s.backlog(B), 2);
+    }
+}

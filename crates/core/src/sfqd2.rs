@@ -1,0 +1,251 @@
+//! SFQ(D2) — Dynamic Depth Start-time Fair Queuing, the paper's new
+//! scheduler (§4): an [`SfqD`] dispatcher whose depth bound is retuned
+//! every control period by a [`DepthController`].
+//!
+//! The composition also keeps the depth and latency traces used to
+//! reproduce Fig. 7 ("Adaptation of D by SFQ(D2) based on the observed I/O
+//! latency on one datanode").
+
+use crate::controller::{ControllerConfig, DepthController};
+use crate::request::{AppId, IoKind, Request};
+use crate::scheduler::{IoScheduler, SchedStats};
+use crate::sfq::{SfqConfig, SfqD};
+use ibis_simcore::metrics::GaugeTrace;
+use ibis_simcore::{SimDuration, SimTime};
+
+/// Configuration for [`SfqD2`].
+#[derive(Debug, Clone, Default)]
+pub struct SfqD2Config {
+    /// Controller parameters (period, gain, reference latencies, bounds).
+    pub controller: ControllerConfig,
+    /// DSFQ delay cap, as in [`SfqConfig::delay_cap`].
+    pub delay_cap: Option<u64>,
+    /// Record the Fig. 7 depth/latency traces (small memory cost).
+    pub trace: bool,
+}
+
+/// The SFQ(D2) scheduler.
+pub struct SfqD2 {
+    inner: SfqD,
+    controller: DepthController,
+    depth_trace: GaugeTrace,
+    latency_trace: GaugeTrace,
+    trace: bool,
+    // per-period latency accumulation for the latency trace
+    period_lat: SimDuration,
+    period_n: u64,
+}
+
+impl SfqD2 {
+    /// Creates an SFQ(D2) scheduler.
+    pub fn new(cfg: SfqD2Config) -> Self {
+        let controller = DepthController::new(cfg.controller);
+        let inner = SfqD::new(SfqConfig {
+            depth: controller.depth(),
+            delay_cap: cfg.delay_cap,
+        });
+        SfqD2 {
+            inner,
+            controller,
+            depth_trace: GaugeTrace::new(),
+            latency_trace: GaugeTrace::new(),
+            trace: cfg.trace,
+            period_lat: SimDuration::ZERO,
+            period_n: 0,
+        }
+    }
+
+    /// The controller, for inspection.
+    pub fn controller(&self) -> &DepthController {
+        &self.controller
+    }
+
+    /// Access to the wrapped SFQ(D) (for invariant checks in tests).
+    pub fn inner(&self) -> &SfqD {
+        &self.inner
+    }
+}
+
+impl IoScheduler for SfqD2 {
+    fn set_weight(&mut self, app: AppId, weight: f64) {
+        self.inner.set_weight(app, weight);
+    }
+
+    fn submit(&mut self, req: Request, now: SimTime) {
+        self.inner.submit(req, now);
+    }
+
+    fn pop_dispatch(&mut self, now: SimTime) -> Option<Request> {
+        self.inner.pop_dispatch(now)
+    }
+
+    fn on_complete(
+        &mut self,
+        app: AppId,
+        kind: IoKind,
+        bytes: u64,
+        latency: SimDuration,
+        now: SimTime,
+    ) {
+        self.controller.observe(kind.is_read(), latency);
+        if self.trace {
+            self.period_lat += latency;
+            self.period_n += 1;
+        }
+        self.inner.on_complete(app, kind, bytes, latency, now);
+    }
+
+    fn on_tick(&mut self, now: SimTime) {
+        if let Some(new_depth) = self.controller.maybe_update(now) {
+            self.inner.set_depth(new_depth);
+        }
+        if self.trace {
+            self.depth_trace.record(now, self.controller.depth() as f64);
+            if self.period_n > 0 {
+                let mean_ms =
+                    (self.period_lat / self.period_n).as_nanos() as f64 / 1e6;
+                self.latency_trace.record(now, mean_ms);
+            }
+            self.period_lat = SimDuration::ZERO;
+            self.period_n = 0;
+        }
+    }
+
+    fn tick_period(&self) -> Option<SimDuration> {
+        Some(self.controller.config().period)
+    }
+
+    fn queued(&self) -> usize {
+        self.inner.queued()
+    }
+
+    fn outstanding(&self) -> usize {
+        self.inner.outstanding()
+    }
+
+    fn drain_service_report(&mut self) -> Vec<(AppId, u64)> {
+        self.inner.drain_service_report()
+    }
+
+    fn apply_global_service(&mut self, totals: &[(AppId, u64)], now: SimTime) {
+        self.inner.apply_global_service(totals, now);
+    }
+
+    fn stats(&self) -> &SchedStats {
+        self.inner.stats()
+    }
+
+    fn depth_trace(&self) -> Option<&GaugeTrace> {
+        self.trace.then_some(&self.depth_trace)
+    }
+
+    fn latency_trace(&self) -> Option<&GaugeTrace> {
+        self.trace.then_some(&self.latency_trace)
+    }
+
+    fn current_depth(&self) -> Option<u32> {
+        Some(self.controller.depth())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: AppId = AppId(1);
+
+    fn traced() -> SfqD2 {
+        SfqD2::new(SfqD2Config {
+            controller: ControllerConfig {
+                gain_per_us: 1e-5,
+                ..ControllerConfig::default()
+            }
+            .with_reference(SimDuration::from_millis(50)),
+            delay_cap: None,
+            trace: true,
+        })
+    }
+
+    /// Closed-loop: keep `load` requests queued, fake a device whose
+    /// latency is `per_req × outstanding`.
+    fn run_closed_loop(s: &mut SfqD2, seconds: u64, per_req: SimDuration) {
+        let mut id = 0u64;
+        for t in 0..seconds * 10 {
+            let now = SimTime::from_millis(t * 100);
+            while s.queued() < 20 {
+                s.submit(Request::new(id, A, IoKind::Read, 4 << 20), now);
+                id += 1;
+            }
+            // Dispatch a full batch (up to depth), then complete it with a
+            // latency proportional to the batch size — a device whose
+            // response time grows linearly with concurrency.
+            let mut batch = Vec::new();
+            while let Some(r) = s.pop_dispatch(now) {
+                batch.push(r);
+            }
+            let latency = per_req * batch.len().max(1) as u64;
+            for r in batch {
+                s.on_complete(r.app, r.kind, r.bytes, latency, now);
+            }
+            s.on_tick(now);
+        }
+    }
+
+    #[test]
+    fn depth_converges_toward_reference_latency() {
+        // per-request 25 ms at depth d → latency 25·d ms; reference 50 ms
+        // → equilibrium depth = 2.
+        let mut s = traced();
+        run_closed_loop(&mut s, 120, SimDuration::from_millis(25));
+        let d = s.current_depth().unwrap();
+        assert!(
+            (1..=3).contains(&d),
+            "depth {d} did not converge toward 2 (trace: {:?})",
+            s.depth_trace().unwrap().samples().last()
+        );
+    }
+
+    #[test]
+    fn depth_rises_when_device_is_fast() {
+        // 2 ms per request: even at D=12 latency stays at 24 ms < 50 ms →
+        // controller pushes to d_max.
+        let mut s = traced();
+        run_closed_loop(&mut s, 200, SimDuration::from_millis(2));
+        assert_eq!(s.current_depth().unwrap(), 12);
+    }
+
+    #[test]
+    fn traces_recorded_per_tick() {
+        let mut s = traced();
+        run_closed_loop(&mut s, 5, SimDuration::from_millis(10));
+        let dt = s.depth_trace().unwrap();
+        assert!(dt.len() >= 40, "depth trace too short: {}", dt.len());
+        assert!(!s.latency_trace().unwrap().is_empty());
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let s = SfqD2::new(SfqD2Config::default());
+        assert!(s.depth_trace().is_none());
+    }
+
+    #[test]
+    fn delegates_scheduling_to_sfq() {
+        let mut s = SfqD2::new(SfqD2Config::default());
+        s.set_weight(A, 2.0);
+        s.submit(Request::new(0, A, IoKind::Read, 100), SimTime::ZERO);
+        assert_eq!(s.queued(), 1);
+        let r = s.pop_dispatch(SimTime::ZERO).unwrap();
+        assert_eq!(r.id, 0);
+        assert_eq!(s.outstanding(), 1);
+        s.on_complete(r.app, r.kind, r.bytes, SimDuration::from_millis(1), SimTime::ZERO);
+        assert_eq!(s.stats().completed, 1);
+        assert_eq!(s.drain_service_report(), vec![(A, 100)]);
+    }
+
+    #[test]
+    fn tick_period_matches_controller() {
+        let s = SfqD2::new(SfqD2Config::default());
+        assert_eq!(s.tick_period(), Some(SimDuration::from_secs(1)));
+    }
+}

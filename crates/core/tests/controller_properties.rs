@@ -1,0 +1,99 @@
+//! Property-based tests of the SFQ(D2) controller and the scheduling
+//! broker.
+
+use ibis_core::{AppId, ControllerConfig, DepthController, SchedulingBroker};
+use ibis_simcore::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// D stays within the configured bounds for any observation stream,
+    /// gain, and reference.
+    #[test]
+    fn depth_always_in_bounds(
+        gain in 1e-8f64..1e-3,
+        ref_ms in 1u64..500,
+        lat_ms in prop::collection::vec((prop::bool::ANY, 1u64..5_000), 1..300),
+    ) {
+        let mut c = DepthController::new(
+            ControllerConfig {
+                gain_per_us: gain,
+                ..ControllerConfig::default()
+            }
+            .with_reference(SimDuration::from_millis(ref_ms)),
+        );
+        let mut t = 1u64;
+        for chunk in lat_ms.chunks(7) {
+            for &(is_read, ms) in chunk {
+                c.observe(is_read, SimDuration::from_millis(ms));
+            }
+            c.maybe_update(SimTime::from_secs(t));
+            t += 1;
+            let d = c.depth_f64();
+            prop_assert!((1.0..=12.0).contains(&d), "D={d}");
+            prop_assert!(c.depth() >= 1 && c.depth() <= 12);
+        }
+    }
+
+    /// One unclamped update moves D by exactly K·(L_ref − L) (Eq. 1).
+    #[test]
+    fn update_magnitude_is_eq1(
+        ref_ms in 10u64..200,
+        lat_ms in 10u64..200,
+    ) {
+        let gain = 1e-6;
+        let mut c = DepthController::new(
+            ControllerConfig {
+                gain_per_us: gain,
+                d_init: 6.0,
+                ..ControllerConfig::default()
+            }
+            .with_reference(SimDuration::from_millis(ref_ms)),
+        );
+        c.observe(true, SimDuration::from_millis(lat_ms));
+        c.maybe_update(SimTime::from_secs(1));
+        let expected = (6.0 + gain * 1e3 * (ref_ms as f64 - lat_ms as f64))
+            .clamp(1.0, 12.0);
+        prop_assert!((c.depth_f64() - expected).abs() < 1e-9,
+            "got {}, expected {expected}", c.depth_f64());
+    }
+
+    /// The broker's total for each app equals the sum of everything ever
+    /// reported for it, regardless of how reports interleave across
+    /// schedulers.
+    #[test]
+    fn broker_totals_are_exact_sums(
+        reports in prop::collection::vec(
+            prop::collection::vec((0u32..5, 1u64..1_000_000), 0..4),
+            1..100,
+        ),
+    ) {
+        let mut broker = SchedulingBroker::new();
+        let mut expected = std::collections::HashMap::new();
+        for report in &reports {
+            let entries: Vec<(AppId, u64)> =
+                report.iter().map(|&(a, b)| (AppId(a), b)).collect();
+            let reply = broker.report(&entries);
+            for (app, bytes) in &entries {
+                *expected.entry(*app).or_insert(0u64) += bytes;
+            }
+            // Every reply entry matches the running expectation.
+            for (app, total) in reply {
+                prop_assert_eq!(total, expected[&app]);
+            }
+        }
+        for (app, total) in &expected {
+            prop_assert_eq!(broker.total(*app), Some(*total));
+        }
+    }
+
+    /// Broker payload accounting is linear in the entries exchanged.
+    #[test]
+    fn broker_payload_is_linear(n_entries in 0usize..32) {
+        let mut broker = SchedulingBroker::new();
+        let report: Vec<(AppId, u64)> =
+            (0..n_entries as u32).map(|a| (AppId(a), 1)).collect();
+        broker.report(&report);
+        let expected = 2 * (16 + 12 * n_entries as u64);
+        prop_assert_eq!(broker.stats().payload_bytes, expected);
+    }
+}

@@ -1,0 +1,205 @@
+//! Property-based tests of the SFQ(D) scheduler invariants.
+
+use ibis_core::prelude::*;
+use ibis_core::scheduler::IoScheduler;
+use ibis_core::sfq::{SfqConfig, SfqD};
+use ibis_simcore::{SimDuration, SimTime};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// An abstract workload: per-op either a submission (flow, bytes) or a
+/// "complete one outstanding" instruction.
+#[derive(Debug, Clone)]
+enum Op {
+    Submit { flow: u8, bytes: u32 },
+    CompleteOne,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u8..6, 1u32..10_000_000).prop_map(|(flow, bytes)| Op::Submit { flow, bytes }),
+        2 => Just(Op::CompleteOne),
+    ]
+}
+
+/// Drives the scheduler through the op sequence, checking invariants at
+/// every step. Returns (dispatched ids, completed count).
+fn drive(depth: u32, ops: &[Op]) -> (Vec<u64>, usize) {
+    let mut s = SfqD::new(SfqConfig {
+        depth,
+        delay_cap: None,
+    });
+    for f in 0..6u8 {
+        s.set_weight(AppId(f as u32), 1.0 + f as f64);
+    }
+    let mut next_id = 0u64;
+    let mut outstanding: Vec<Request> = Vec::new();
+    let mut dispatched_ids = Vec::new();
+    let mut completed = 0usize;
+    let mut last_vtime = s.virtual_time();
+
+    for op in ops {
+        match op {
+            Op::Submit { flow, bytes } => {
+                let req = Request::new(next_id, AppId(*flow as u32), IoKind::Read, *bytes as u64);
+                next_id += 1;
+                s.submit(req, SimTime::ZERO);
+            }
+            Op::CompleteOne => {
+                if let Some(r) = outstanding.pop() {
+                    s.on_complete(r.app, r.kind, r.bytes, SimDuration::ZERO, SimTime::ZERO);
+                    completed += 1;
+                }
+            }
+        }
+        // Pump: dispatch as much as the depth allows.
+        while let Some(r) = s.pop_dispatch(SimTime::ZERO) {
+            dispatched_ids.push(r.id);
+            outstanding.push(r);
+        }
+        // Invariant: outstanding bounded by depth.
+        assert!(
+            s.outstanding() <= depth as usize,
+            "outstanding {} > depth {depth}",
+            s.outstanding()
+        );
+        // Invariant: the queue is only non-empty when the depth is
+        // saturated (work conservation).
+        if s.queued() > 0 {
+            assert_eq!(s.outstanding(), depth as usize, "idle slot with backlog");
+        }
+        // Invariant: virtual time never goes backwards.
+        assert!(s.virtual_time() >= last_vtime, "vtime regressed");
+        last_vtime = s.virtual_time();
+    }
+    (dispatched_ids, completed)
+}
+
+proptest! {
+    #[test]
+    fn no_request_lost_or_duplicated(depth in 1u32..16, ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let (dispatched, _) = drive(depth, &ops);
+        let unique: HashSet<u64> = dispatched.iter().copied().collect();
+        prop_assert_eq!(unique.len(), dispatched.len(), "duplicate dispatch");
+    }
+
+    #[test]
+    fn drain_dispatches_everything(depth in 1u32..16, ops in prop::collection::vec(op_strategy(), 1..200)) {
+        // After the op sequence, completing everything must eventually
+        // dispatch every submitted request.
+        let mut s = SfqD::new(SfqConfig { depth, delay_cap: None });
+        let mut submitted = 0u64;
+        let mut outstanding: Vec<Request> = Vec::new();
+        let mut dispatched = 0u64;
+        for op in &ops {
+            match op {
+                Op::Submit { flow, bytes } => {
+                    s.submit(
+                        Request::new(submitted, AppId(*flow as u32), IoKind::Write, *bytes as u64),
+                        SimTime::ZERO,
+                    );
+                    submitted += 1;
+                }
+                Op::CompleteOne => {
+                    if let Some(r) = outstanding.pop() {
+                        s.on_complete(r.app, r.kind, r.bytes, SimDuration::ZERO, SimTime::ZERO);
+                    }
+                }
+            }
+            while let Some(r) = s.pop_dispatch(SimTime::ZERO) {
+                dispatched += 1;
+                outstanding.push(r);
+            }
+        }
+        // Drain.
+        while let Some(r) = outstanding.pop() {
+            s.on_complete(r.app, r.kind, r.bytes, SimDuration::ZERO, SimTime::ZERO);
+            while let Some(r2) = s.pop_dispatch(SimTime::ZERO) {
+                dispatched += 1;
+                outstanding.push(r2);
+            }
+        }
+        prop_assert_eq!(dispatched, submitted);
+        prop_assert_eq!(s.queued(), 0);
+    }
+
+    /// SFQ fairness: for two continuously backlogged flows with equal
+    /// request sizes, the weighted service difference over any run is
+    /// bounded (Goyal's theorem gives ~one max-cost per flow; we allow a
+    /// small slack for the dispatch quantisation).
+    #[test]
+    fn backlogged_flows_share_by_weight(
+        w1 in 1u32..8,
+        w2 in 1u32..8,
+        depth in 1u32..8,
+        services in 32usize..200,
+    ) {
+        let mut s = SfqD::new(SfqConfig { depth, delay_cap: None });
+        let (a, b) = (AppId(1), AppId(2));
+        s.set_weight(a, w1 as f64);
+        s.set_weight(b, w2 as f64);
+        const COST: u64 = 1_000_000;
+        // Keep both flows saturated.
+        let mut id = 0u64;
+        let backlog = |s: &mut SfqD, id: &mut u64| {
+            while s.backlog(a) < 4 {
+                s.submit(Request::new(*id, a, IoKind::Read, COST), SimTime::ZERO);
+                *id += 1;
+            }
+            while s.backlog(b) < 4 {
+                s.submit(Request::new(*id, b, IoKind::Read, COST), SimTime::ZERO);
+                *id += 1;
+            }
+        };
+        backlog(&mut s, &mut id);
+        let mut served = [0u64; 3];
+        let mut outstanding = Vec::new();
+        for _ in 0..services {
+            while let Some(r) = s.pop_dispatch(SimTime::ZERO) {
+                outstanding.push(r);
+            }
+            if let Some(r) = outstanding.pop() {
+                served[r.app.0 as usize] += r.bytes;
+                s.on_complete(r.app, r.kind, r.bytes, SimDuration::ZERO, SimTime::ZERO);
+            }
+            backlog(&mut s, &mut id);
+        }
+        let norm1 = served[1] as f64 / w1 as f64;
+        let norm2 = served[2] as f64 / w2 as f64;
+        // Bound: |S1/w1 − S2/w2| ≤ slack · COST, slack covers the depth
+        // window plus one request per flow.
+        let slack = (depth as f64 + 2.0) * COST as f64;
+        prop_assert!(
+            (norm1 - norm2).abs() <= slack * 2.0,
+            "unfair: {norm1} vs {norm2} (slack {slack})"
+        );
+    }
+
+    /// DSFQ: foreign service always delays, never advances, a flow.
+    #[test]
+    fn foreign_service_never_helps(foreign in 0u64..10_000_000, n in 1usize..20) {
+        let serve_all = |delay: u64| -> Vec<u64> {
+            let mut s = SfqD::new(SfqConfig { depth: 1, delay_cap: None });
+            s.set_weight(AppId(1), 1.0);
+            s.set_weight(AppId(2), 1.0);
+            if delay > 0 {
+                s.apply_global_service(&[(AppId(1), delay)], SimTime::ZERO);
+            }
+            for i in 0..n as u64 {
+                s.submit(Request::new(i, AppId(1), IoKind::Read, 1000), SimTime::ZERO);
+                s.submit(Request::new(100 + i, AppId(2), IoKind::Read, 1000), SimTime::ZERO);
+            }
+            let mut order = Vec::new();
+            while let Some(r) = s.pop_dispatch(SimTime::ZERO) {
+                order.push(r.id);
+                s.on_complete(r.app, r.kind, r.bytes, SimDuration::ZERO, SimTime::ZERO);
+            }
+            order
+        };
+        let base = serve_all(0);
+        let delayed = serve_all(foreign);
+        // Position of flow 1's first request must not improve under delay.
+        let pos = |order: &[u64]| order.iter().position(|&x| x < 100).unwrap();
+        prop_assert!(pos(&delayed) >= pos(&base));
+    }
+}

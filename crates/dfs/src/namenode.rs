@@ -1,0 +1,308 @@
+//! The namenode: file → block → replica-location metadata and the two
+//! placement policies.
+
+use crate::types::{BlockId, BlockInfo, NodeId};
+use ibis_simcore::rng::SimRng;
+use ibis_simcore::units::HDFS_BLOCK;
+use std::collections::HashMap;
+
+/// Placement policy for pre-loaded input files.
+#[derive(Debug, Clone)]
+pub enum Placement {
+    /// Replicas uniformly random over all datanodes.
+    Uniform,
+    /// A fraction `hot_weight / (hot_weight + 1)` of primary replicas land
+    /// on the first `hot_nodes` datanodes — the uneven data distribution
+    /// used to stress the distributed-coordination experiment (Fig. 12).
+    Skewed {
+        /// How many of the lowest-numbered nodes are "hot".
+        hot_nodes: u32,
+        /// Relative placement weight of a hot node vs a cold one (> 1).
+        hot_weight: f64,
+    },
+}
+
+/// Namenode configuration; defaults match Table 1 of the paper.
+#[derive(Debug, Clone)]
+pub struct NamenodeConfig {
+    /// Number of datanodes.
+    pub nodes: u32,
+    /// `dfs.block.size` (Table 1: 128 MiB).
+    pub block_size: u64,
+    /// `dfs.replication` (Table 1: 3).
+    pub replication: u32,
+    /// Placement of pre-loaded input files.
+    pub placement: Placement,
+    /// RNG seed for placement decisions.
+    pub seed: u64,
+}
+
+impl Default for NamenodeConfig {
+    fn default() -> Self {
+        NamenodeConfig {
+            nodes: 8,
+            block_size: HDFS_BLOCK,
+            replication: 3,
+            placement: Placement::Uniform,
+            seed: 0xd15,
+        }
+    }
+}
+
+/// The namenode. All metadata operations are O(1) or O(replication).
+#[derive(Debug, Clone)]
+pub struct Namenode {
+    cfg: NamenodeConfig,
+    rng: SimRng,
+    blocks: HashMap<BlockId, BlockInfo>,
+    files: HashMap<String, Vec<BlockId>>,
+    next_block: u64,
+}
+
+impl Namenode {
+    /// Creates a namenode.
+    pub fn new(cfg: NamenodeConfig) -> Self {
+        assert!(cfg.nodes >= 1, "need at least one datanode");
+        assert!(cfg.block_size > 0, "block size must be positive");
+        assert!(
+            cfg.replication >= 1,
+            "replication factor must be at least 1"
+        );
+        let rng = SimRng::new(cfg.seed);
+        Namenode {
+            cfg,
+            rng,
+            blocks: HashMap::new(),
+            files: HashMap::new(),
+            next_block: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &NamenodeConfig {
+        &self.cfg
+    }
+
+    /// Effective replication: never more than the number of nodes.
+    fn effective_replication(&self) -> usize {
+        (self.cfg.replication as usize).min(self.cfg.nodes as usize)
+    }
+
+    fn pick_primary(&mut self) -> NodeId {
+        match self.cfg.placement {
+            Placement::Uniform => NodeId(self.rng.range_u64(0, self.cfg.nodes as u64) as u32),
+            Placement::Skewed {
+                hot_nodes,
+                hot_weight,
+            } => {
+                let hot = hot_nodes.min(self.cfg.nodes) as f64;
+                let cold = (self.cfg.nodes - hot_nodes.min(self.cfg.nodes)) as f64;
+                let hot_mass = hot * hot_weight;
+                let total = hot_mass + cold;
+                if self.rng.f64() * total < hot_mass {
+                    NodeId(self.rng.range_u64(0, hot_nodes.min(self.cfg.nodes) as u64) as u32)
+                } else {
+                    NodeId(
+                        self.rng
+                            .range_u64(hot_nodes.min(self.cfg.nodes) as u64, self.cfg.nodes as u64)
+                            as u32,
+                    )
+                }
+            }
+        }
+    }
+
+    /// Picks `extra` distinct nodes different from `primary`.
+    fn pick_secondaries(&mut self, primary: NodeId, extra: usize) -> Vec<NodeId> {
+        let pool: Vec<u32> = (0..self.cfg.nodes).filter(|&n| n != primary.0).collect();
+        let idx = self.rng.sample_indices(pool.len(), extra.min(pool.len()));
+        idx.into_iter().map(|i| NodeId(pool[i])).collect()
+    }
+
+    fn register_block(&mut self, bytes: u64, primary: NodeId) -> BlockId {
+        let id = BlockId(self.next_block);
+        self.next_block += 1;
+        let extra = self.effective_replication() - 1;
+        let mut replicas = vec![primary];
+        replicas.extend(self.pick_secondaries(primary, extra));
+        self.blocks.insert(
+            id,
+            BlockInfo {
+                id,
+                bytes,
+                replicas,
+            },
+        );
+        id
+    }
+
+    /// Registers a pre-loaded input file of `total_bytes`, placed by the
+    /// configured policy, and returns its block list (in file order).
+    pub fn create_file(&mut self, name: &str, total_bytes: u64) -> Vec<BlockId> {
+        assert!(
+            !self.files.contains_key(name),
+            "file {name} already exists"
+        );
+        let blocks: Vec<BlockId> = ibis_simcore::units::chunks(total_bytes, self.cfg.block_size)
+            .map(|bytes| {
+                let primary = self.pick_primary();
+                self.register_block(bytes, primary)
+            })
+            .collect();
+        self.files.insert(name.to_string(), blocks.clone());
+        blocks
+    }
+
+    /// Allocates one output block for a writer running on `writer`: first
+    /// replica local, the rest on distinct other nodes (the HDFS pipeline).
+    pub fn allocate_block(&mut self, writer: NodeId, bytes: u64) -> BlockInfo {
+        assert!(writer.0 < self.cfg.nodes, "unknown writer node {writer}");
+        let id = self.register_block(bytes, writer);
+        self.blocks[&id].clone()
+    }
+
+    /// The block list of a file, if it exists.
+    pub fn file_blocks(&self, name: &str) -> Option<&[BlockId]> {
+        self.files.get(name).map(Vec::as_slice)
+    }
+
+    /// Metadata for a block.
+    pub fn locate(&self, block: BlockId) -> Option<&BlockInfo> {
+        self.blocks.get(&block)
+    }
+
+    /// Total blocks registered.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Per-node count of primary replicas (used to verify placement skew).
+    pub fn primary_distribution(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.cfg.nodes as usize];
+        for info in self.blocks.values() {
+            counts[info.replicas[0].0 as usize] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibis_simcore::units::MIB;
+
+    fn nn(nodes: u32) -> Namenode {
+        Namenode::new(NamenodeConfig {
+            nodes,
+            block_size: 128 * MIB,
+            ..NamenodeConfig::default()
+        })
+    }
+
+    #[test]
+    fn file_splits_into_blocks_with_tail() {
+        let mut n = nn(8);
+        let blocks = n.create_file("input", 300 * MIB);
+        assert_eq!(blocks.len(), 3);
+        let sizes: Vec<u64> = blocks
+            .iter()
+            .map(|&b| n.locate(b).unwrap().bytes)
+            .collect();
+        assert_eq!(sizes, vec![128 * MIB, 128 * MIB, 44 * MIB]);
+    }
+
+    #[test]
+    fn replicas_are_distinct_nodes() {
+        let mut n = nn(8);
+        let blocks = n.create_file("input", 50 * 128 * MIB);
+        for &b in &blocks {
+            let info = n.locate(b).unwrap();
+            assert_eq!(info.replicas.len(), 3);
+            let mut r = info.replicas.clone();
+            r.sort();
+            r.dedup();
+            assert_eq!(r.len(), 3, "duplicate replica nodes: {info:?}");
+        }
+    }
+
+    #[test]
+    fn replication_clamped_to_cluster_size() {
+        let mut n = Namenode::new(NamenodeConfig {
+            nodes: 2,
+            replication: 3,
+            ..NamenodeConfig::default()
+        });
+        let blocks = n.create_file("f", 128 * MIB);
+        assert_eq!(n.locate(blocks[0]).unwrap().replicas.len(), 2);
+    }
+
+    #[test]
+    fn pipeline_write_is_writer_local_first() {
+        let mut n = nn(8);
+        for writer in 0..8 {
+            let info = n.allocate_block(NodeId(writer), 128 * MIB);
+            assert_eq!(info.replicas[0], NodeId(writer));
+            assert_eq!(info.replicas.len(), 3);
+        }
+    }
+
+    #[test]
+    fn uniform_placement_spreads_primaries() {
+        let mut n = nn(8);
+        n.create_file("big", 800 * 128 * MIB);
+        let dist = n.primary_distribution();
+        // 800 blocks over 8 nodes: each should get 100 ± 40.
+        for (i, &c) in dist.iter().enumerate() {
+            assert!((60..=140).contains(&c), "node{i} has {c} primaries");
+        }
+    }
+
+    #[test]
+    fn skewed_placement_concentrates_primaries() {
+        let mut n = Namenode::new(NamenodeConfig {
+            nodes: 8,
+            placement: Placement::Skewed {
+                hot_nodes: 2,
+                hot_weight: 6.0,
+            },
+            ..NamenodeConfig::default()
+        });
+        n.create_file("big", 800 * 128 * MIB);
+        let dist = n.primary_distribution();
+        let hot: usize = dist[..2].iter().sum();
+        // hot mass = 2·6 = 12 of total 18 → ~2/3 of primaries on 2 nodes.
+        assert!(hot > 450, "skew too weak: {dist:?}");
+        assert!(hot < 650, "skew too strong: {dist:?}");
+    }
+
+    #[test]
+    fn duplicate_file_name_panics() {
+        let mut n = nn(4);
+        n.create_file("x", MIB);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            n.create_file("x", MIB);
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn file_blocks_lookup() {
+        let mut n = nn(4);
+        let blocks = n.create_file("x", 130 * MIB);
+        assert_eq!(n.file_blocks("x"), Some(&blocks[..]));
+        assert_eq!(n.file_blocks("missing"), None);
+        assert_eq!(n.block_count(), 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let mut n = nn(8);
+            n.create_file("f", 10 * 128 * MIB)
+                .iter()
+                .map(|&b| n.locate(b).unwrap().replicas.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

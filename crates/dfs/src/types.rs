@@ -1,0 +1,65 @@
+//! Identifiers and metadata records for the block layer.
+
+use std::fmt;
+
+/// A datanode in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A block of a DFS file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u64);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk{}", self.0)
+    }
+}
+
+/// Namenode metadata for one block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// The block's id.
+    pub id: BlockId,
+    /// Actual byte length (the final block of a file may be short).
+    pub bytes: u64,
+    /// Replica locations; the first entry is the primary (for pipeline
+    /// writes, the writer-local replica).
+    pub replicas: Vec<NodeId>,
+}
+
+impl BlockInfo {
+    /// True if `node` holds a replica.
+    pub fn is_local_to(&self, node: NodeId) -> bool {
+        self.replicas.contains(&node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "node3");
+        assert_eq!(BlockId(9).to_string(), "blk9");
+    }
+
+    #[test]
+    fn locality_check() {
+        let b = BlockInfo {
+            id: BlockId(1),
+            bytes: 10,
+            replicas: vec![NodeId(0), NodeId(2)],
+        };
+        assert!(b.is_local_to(NodeId(0)));
+        assert!(b.is_local_to(NodeId(2)));
+        assert!(!b.is_local_to(NodeId(1)));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests of the namenode placement layer.
+
+use ibis_dfs::{Namenode, NamenodeConfig, NodeId, Placement};
+use ibis_simcore::units::MIB;
+use proptest::prelude::*;
+
+proptest! {
+    /// Files of arbitrary size split into blocks that exactly cover the
+    /// file, each with `min(replication, nodes)` distinct replicas.
+    #[test]
+    fn file_blocks_cover_and_replicate(
+        nodes in 1u32..16,
+        replication in 1u32..5,
+        size_mib in 1u64..2_000,
+        seed in 0u64..1000,
+    ) {
+        let mut nn = Namenode::new(NamenodeConfig {
+            nodes,
+            replication,
+            block_size: 128 * MIB,
+            placement: Placement::Uniform,
+            seed,
+        });
+        let bytes = size_mib * MIB;
+        let blocks = nn.create_file("f", bytes);
+        let total: u64 = blocks.iter().map(|&b| nn.locate(b).unwrap().bytes).sum();
+        prop_assert_eq!(total, bytes);
+        let expected_replicas = replication.min(nodes) as usize;
+        for &b in &blocks {
+            let info = nn.locate(b).unwrap();
+            prop_assert_eq!(info.replicas.len(), expected_replicas);
+            let mut r: Vec<NodeId> = info.replicas.clone();
+            r.sort();
+            r.dedup();
+            prop_assert_eq!(r.len(), expected_replicas, "duplicate replicas");
+            for n in &info.replicas {
+                prop_assert!(n.0 < nodes);
+            }
+            // every block except possibly the last is full-size
+        }
+        for &b in &blocks[..blocks.len().saturating_sub(1)] {
+            prop_assert_eq!(nn.locate(b).unwrap().bytes, 128 * MIB);
+        }
+    }
+
+    /// Pipeline allocation always puts the writer first.
+    #[test]
+    fn pipeline_always_writer_local(
+        nodes in 2u32..16,
+        writer in 0u32..16,
+        seed in 0u64..1000,
+    ) {
+        let writer = writer % nodes;
+        let mut nn = Namenode::new(NamenodeConfig {
+            nodes,
+            seed,
+            ..NamenodeConfig::default()
+        });
+        for _ in 0..20 {
+            let info = nn.allocate_block(NodeId(writer), 64 * MIB);
+            prop_assert_eq!(info.replicas[0], NodeId(writer));
+        }
+    }
+
+    /// Skewed placement puts more primaries on hot nodes than cold ones,
+    /// for any skew parameters.
+    #[test]
+    fn skew_direction_holds(
+        hot_nodes in 1u32..4,
+        hot_weight in 2.0f64..20.0,
+        seed in 0u64..100,
+    ) {
+        let nodes = 8u32;
+        let mut nn = Namenode::new(NamenodeConfig {
+            nodes,
+            placement: Placement::Skewed { hot_nodes, hot_weight },
+            seed,
+            ..NamenodeConfig::default()
+        });
+        nn.create_file("big", 600 * 128 * MIB);
+        let dist = nn.primary_distribution();
+        let hot_mean: f64 = dist[..hot_nodes as usize].iter().sum::<usize>() as f64
+            / hot_nodes as f64;
+        let cold_mean: f64 = dist[hot_nodes as usize..].iter().sum::<usize>() as f64
+            / (nodes - hot_nodes) as f64;
+        prop_assert!(
+            hot_mean > cold_mean,
+            "hot {hot_mean} not above cold {cold_mean} ({dist:?})"
+        );
+    }
+}

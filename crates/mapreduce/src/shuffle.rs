@@ -1,0 +1,119 @@
+//! The map-output registry reduce tasks pull from.
+//!
+//! In Hadoop, each completed map task leaves its partitioned output on the
+//! local file system of its node, and the Node Manager's HTTP servlets
+//! serve it to reduce-task fetchers (the I/O path IBIS interposes as
+//! *shuffle* I/O, §3). The tracker records, per job, which map outputs are
+//! available, where, and how large each reduce's partition is.
+
+use crate::job::JobId;
+use ibis_dfs::NodeId;
+use std::collections::HashMap;
+
+/// A completed map task's output, available for shuffling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapOutput {
+    /// Which map task produced it.
+    pub map_task: u32,
+    /// The node whose local FS holds it (fetches read there).
+    pub node: NodeId,
+    /// Partition size each reduce pulls from this output.
+    pub bytes_per_reduce: u64,
+}
+
+/// Per-job registry of available map outputs.
+#[derive(Debug, Clone, Default)]
+pub struct ShuffleTracker {
+    outputs: HashMap<JobId, Vec<MapOutput>>,
+}
+
+impl ShuffleTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        ShuffleTracker::default()
+    }
+
+    /// Registers a completed map's output.
+    pub fn register(&mut self, job: JobId, output: MapOutput) {
+        self.outputs.entry(job).or_default().push(output);
+    }
+
+    /// All outputs currently available for `job`, in completion order.
+    /// A reduce fetcher that has consumed the first `n` entries simply
+    /// waits for `outputs(job).len() > n`.
+    pub fn outputs(&self, job: JobId) -> &[MapOutput] {
+        self.outputs.get(&job).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of outputs available for `job`.
+    pub fn available(&self, job: JobId) -> usize {
+        self.outputs.get(&job).map_or(0, Vec::len)
+    }
+
+    /// Drops a finished job's registry.
+    pub fn retire(&mut self, job: JobId) {
+        self.outputs.remove(&job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const J: JobId = JobId(1);
+
+    #[test]
+    fn outputs_accumulate_in_order() {
+        let mut t = ShuffleTracker::new();
+        assert_eq!(t.available(J), 0);
+        t.register(
+            J,
+            MapOutput {
+                map_task: 3,
+                node: NodeId(0),
+                bytes_per_reduce: 100,
+            },
+        );
+        t.register(
+            J,
+            MapOutput {
+                map_task: 1,
+                node: NodeId(2),
+                bytes_per_reduce: 100,
+            },
+        );
+        assert_eq!(t.available(J), 2);
+        assert_eq!(t.outputs(J)[0].map_task, 3);
+        assert_eq!(t.outputs(J)[1].node, NodeId(2));
+    }
+
+    #[test]
+    fn jobs_are_isolated() {
+        let mut t = ShuffleTracker::new();
+        t.register(
+            J,
+            MapOutput {
+                map_task: 0,
+                node: NodeId(0),
+                bytes_per_reduce: 1,
+            },
+        );
+        assert_eq!(t.available(JobId(2)), 0);
+        assert!(t.outputs(JobId(2)).is_empty());
+    }
+
+    #[test]
+    fn retire_clears() {
+        let mut t = ShuffleTracker::new();
+        t.register(
+            J,
+            MapOutput {
+                map_task: 0,
+                node: NodeId(0),
+                bytes_per_reduce: 1,
+            },
+        );
+        t.retire(J);
+        assert_eq!(t.available(J), 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Empirical cumulative distribution functions.
+
+/// An empirical CDF built from raw samples; Fig. 9 (the cumulative
+/// distribution of Facebook2009 job runtimes) is three of these.
+#[derive(Debug, Clone, Default)]
+pub struct Cdf {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Cdf {
+    /// Creates an empty CDF.
+    pub fn new() -> Self {
+        Cdf::default()
+    }
+
+    /// Builds a CDF from an iterator of samples.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut c = Cdf::new();
+        for x in iter {
+            c.add(x);
+        }
+        c
+    }
+
+    /// Adds one sample. NaNs are rejected with a debug assertion and
+    /// dropped in release builds.
+    pub fn add(&mut self, x: f64) {
+        debug_assert!(!x.is_nan(), "NaN sample");
+        if x.is_nan() {
+            return;
+        }
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaNs stored"));
+            self.sorted = true;
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples have been added.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn fraction_at(&mut self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let count = self.samples.partition_point(|&s| s <= x);
+        count as f64 / self.samples.len() as f64
+    }
+
+    /// The q-quantile (q ∈ [0, 1]) by the nearest-rank method. `None` if
+    /// empty.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let n = self.samples.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.samples[rank - 1])
+    }
+
+    /// Mean of the samples, 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Iterates `(value, cumulative_fraction)` points — the plottable CDF
+    /// curve, one point per sample.
+    pub fn points(&mut self) -> Vec<(f64, f64)> {
+        self.ensure_sorted();
+        let n = self.samples.len();
+        self.samples
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_at_counts_inclusive() {
+        let mut c = Cdf::from_samples([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.fraction_at(0.5), 0.0);
+        assert_eq!(c.fraction_at(2.0), 0.5);
+        assert_eq!(c.fraction_at(2.5), 0.5);
+        assert_eq!(c.fraction_at(4.0), 1.0);
+        assert_eq!(c.fraction_at(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut c = Cdf::from_samples([10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(c.quantile(0.0), Some(10.0));
+        assert_eq!(c.quantile(0.5), Some(30.0));
+        assert_eq!(c.quantile(0.9), Some(50.0));
+        assert_eq!(c.quantile(1.0), Some(50.0));
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let mut c = Cdf::new();
+        assert!(c.is_empty());
+        assert_eq!(c.quantile(0.5), None);
+        assert_eq!(c.fraction_at(1.0), 0.0);
+        assert_eq!(c.mean(), 0.0);
+    }
+
+    #[test]
+    fn points_are_monotone() {
+        let mut c = Cdf::from_samples([3.0, 1.0, 2.0]);
+        let pts = c.points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], (1.0, 1.0 / 3.0));
+        assert_eq!(pts[2], (3.0, 1.0));
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn add_after_query_resorts() {
+        let mut c = Cdf::from_samples([5.0]);
+        assert_eq!(c.quantile(1.0), Some(5.0));
+        c.add(1.0);
+        assert_eq!(c.quantile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn mean_matches() {
+        let c = Cdf::from_samples([1.0, 2.0, 3.0]);
+        assert_eq!(c.mean(), 2.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Byte-size constants and rate/size conversion helpers.
+//!
+//! All data volumes in the workspace are `u64` bytes; all bandwidths are
+//! `f64` bytes/second at model boundaries. This module is the single place
+//! where the two meet.
+
+use crate::time::SimDuration;
+
+/// One kibibyte.
+pub const KIB: u64 = 1024;
+/// One mebibyte.
+pub const MIB: u64 = 1024 * KIB;
+/// One gibibyte.
+pub const GIB: u64 = 1024 * MIB;
+/// One tebibyte.
+pub const TIB: u64 = 1024 * GIB;
+
+/// The HDFS block size used throughout the paper's evaluation
+/// (Table 1: `dfs.block.size = 134,217,728`).
+pub const HDFS_BLOCK: u64 = 128 * MIB;
+
+/// The chunk size tasks use for individual interposed I/O requests. HDFS
+/// streams data in packet trains; 4 MiB per scheduler-visible request is the
+/// granularity the IBIS prototype schedules at.
+pub const IO_CHUNK: u64 = 4 * MIB;
+
+/// Time to move `bytes` at `bytes_per_sec`. Zero-bandwidth (or negative /
+/// NaN) rates yield `SimDuration::MAX`, which callers treat as "never" —
+/// a disabled path, not a silent fast path.
+pub fn transfer_time(bytes: u64, bytes_per_sec: f64) -> SimDuration {
+    if bytes_per_sec.is_nan() || bytes_per_sec <= 0.0 {
+        return SimDuration::MAX;
+    }
+    SimDuration::from_secs_f64(bytes as f64 / bytes_per_sec)
+}
+
+/// Throughput in bytes/sec for `bytes` moved over `elapsed`; zero elapsed
+/// yields zero (start-up edge in reports).
+pub fn rate(bytes: u64, elapsed: SimDuration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs <= 0.0 {
+        0.0
+    } else {
+        bytes as f64 / secs
+    }
+}
+
+/// Formats a byte count for reports ("512.0 MiB", "1.2 GiB").
+pub fn fmt_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if bytes >= GIB {
+        format!("{:.2} GiB", b / GIB as f64)
+    } else if bytes >= MIB {
+        format!("{:.1} MiB", b / MIB as f64)
+    } else if bytes >= KIB {
+        format!("{:.1} KiB", b / KIB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Formats a bytes/sec rate as the paper's figures do (MB/s, decimal).
+pub fn fmt_rate(bytes_per_sec: f64) -> String {
+    format!("{:.1} MB/s", bytes_per_sec / 1e6)
+}
+
+/// Splits `total` bytes into chunks of at most `chunk` bytes; the final
+/// chunk carries the remainder. Returns an empty iterator for zero totals.
+pub fn chunks(total: u64, chunk: u64) -> impl Iterator<Item = u64> {
+    assert!(chunk > 0, "chunk size must be positive");
+    let full = total / chunk;
+    let rem = total % chunk;
+    (0..full)
+        .map(move |_| chunk)
+        .chain(std::iter::once(rem).filter(|&r| r > 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_basic() {
+        // 100 MiB at 100 MiB/s = 1 s
+        let d = transfer_time(100 * MIB, (100 * MIB) as f64);
+        assert_eq!(d, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn transfer_time_zero_rate_is_never() {
+        assert_eq!(transfer_time(1, 0.0), SimDuration::MAX);
+        assert_eq!(transfer_time(1, -5.0), SimDuration::MAX);
+        assert_eq!(transfer_time(1, f64::NAN), SimDuration::MAX);
+    }
+
+    #[test]
+    fn rate_roundtrip() {
+        let d = transfer_time(10 * MIB, 5e6);
+        let r = rate(10 * MIB, d);
+        assert!((r - 5e6).abs() / 5e6 < 1e-6);
+    }
+
+    #[test]
+    fn rate_zero_elapsed() {
+        assert_eq!(rate(100, SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn chunks_cover_total() {
+        let total = 10 * MIB + 123;
+        let parts: Vec<u64> = chunks(total, 4 * MIB).collect();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.iter().sum::<u64>(), total);
+        assert_eq!(parts[0], 4 * MIB);
+        assert_eq!(parts[2], 2 * MIB + 123);
+    }
+
+    #[test]
+    fn chunks_exact_division_has_no_tail() {
+        let parts: Vec<u64> = chunks(8 * MIB, 4 * MIB).collect();
+        assert_eq!(parts, vec![4 * MIB, 4 * MIB]);
+    }
+
+    #[test]
+    fn chunks_zero_total_is_empty() {
+        assert_eq!(chunks(0, MIB).count(), 0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2 * KIB), "2.0 KiB");
+        assert_eq!(fmt_bytes(3 * MIB + MIB / 2), "3.5 MiB");
+        assert_eq!(fmt_bytes(GIB), "1.00 GiB");
+        assert_eq!(fmt_rate(150e6), "150.0 MB/s");
+    }
+
+    #[test]
+    fn hdfs_block_matches_table1() {
+        assert_eq!(HDFS_BLOCK, 134_217_728);
+    }
+}

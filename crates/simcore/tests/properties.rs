@@ -1,0 +1,116 @@
+//! Property-based tests of the simulation-core data structures.
+
+use ibis_simcore::metrics::{Cdf, Histogram, TimeSeries};
+use ibis_simcore::{EventQueue, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events pop in non-decreasing time order, FIFO among equal times.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_millis(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt, "time went backwards");
+                if t == lt {
+                    prop_assert!(i > li, "FIFO violated among ties");
+                }
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// Interleaved pushes (at or after the current pop frontier) never
+    /// break ordering.
+    #[test]
+    fn event_queue_interleaved(ops in prop::collection::vec((0u64..100, prop::bool::ANY), 1..200)) {
+        let mut q = EventQueue::new();
+        let mut last_popped = SimTime::ZERO;
+        let mut seq = 0usize;
+        for (dt, push) in ops {
+            if push || q.is_empty() {
+                q.push(last_popped + SimDuration::from_millis(dt), seq);
+                seq += 1;
+            } else if let Some((t, _)) = q.pop() {
+                prop_assert!(t >= last_popped);
+                last_popped = t;
+            }
+        }
+    }
+
+    /// Histogram quantiles are bounded by min/max and monotone in q.
+    #[test]
+    fn histogram_quantiles_bounded_and_monotone(values in prop::collection::vec(0u64..10_000_000_000, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        let mut prev = 0u64;
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            let x = h.quantile(q).unwrap();
+            prop_assert!(x >= min && x <= max, "q{q}: {x} outside [{min}, {max}]");
+            prop_assert!(x >= prev, "quantiles not monotone");
+            prev = x;
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+
+    /// Histogram mean is exact.
+    #[test]
+    fn histogram_mean_exact(values in prop::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let expected = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        prop_assert!((h.mean() - expected).abs() < 1e-6);
+    }
+
+    /// CDF: fraction_at is monotone and hits 0/1 at the extremes.
+    #[test]
+    fn cdf_monotone(values in prop::collection::vec(-1e9f64..1e9, 1..200)) {
+        let mut c = Cdf::from_samples(values.clone());
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(c.fraction_at(lo - 1.0), 0.0);
+        prop_assert_eq!(c.fraction_at(hi), 1.0);
+        // Index-based stepping: `x += step` can stall on large-magnitude
+        // floats when the step underflows the ULP.
+        let mut prev = 0.0;
+        for i in 0..=17 {
+            let x = lo + (hi - lo) * i as f64 / 17.0;
+            let f = c.fraction_at(x);
+            prop_assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    /// TimeSeries conserves the recorded amounts.
+    #[test]
+    fn timeseries_total_conserved(points in prop::collection::vec((0u64..10_000, 0.0f64..1e6), 1..300)) {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(1));
+        let mut total = 0.0;
+        for &(t, v) in &points {
+            ts.add(SimTime::from_millis(t), v);
+            total += v;
+        }
+        prop_assert!((ts.total() - total).abs() < 1e-3);
+        // Sum of rate × bin_width equals the total.
+        let rate_sum: f64 = ts.rates().map(|(_, r)| r * ts.bin_width().as_secs_f64()).sum();
+        prop_assert!((rate_sum - total).abs() < 1e-3);
+    }
+
+    /// SimDuration::from_secs_f64 round-trips within a nanosecond per op.
+    #[test]
+    fn duration_float_roundtrip(secs in 0.0f64..1e6) {
+        let d = SimDuration::from_secs_f64(secs);
+        prop_assert!((d.as_secs_f64() - secs).abs() < 1e-9 * secs.max(1.0));
+    }
+}

@@ -1,0 +1,529 @@
+//! Positional rotating-disk model.
+//!
+//! Reproduces the four HDD behaviours the paper's evaluation depends on:
+//!
+//! 1. **Sequential vs interleaved throughput.** Each request carries a
+//!    `stream` key; serving a request from a different stream than the last
+//!    one pays a seek plus rotational delay. Interleaving two sequential
+//!    workloads therefore costs real bandwidth, exactly the contention the
+//!    motivating examples (§2.3) show.
+//! 2. **Throughput grows with queue depth.** The disk services one request
+//!    at a time but, like the anticipatory/CFQ schedulers in the paper's
+//!    Linux testbed, it prefers a queued request from the *current* stream
+//!    (bounded by `batch_limit` to avoid starvation). A deeper internal
+//!    queue gives the disk more chances to batch, so utilisation rises with
+//!    D — the SFQ(D) fairness/utilisation trade-off of §4.
+//! 3. **Latency grows with queue depth.** FIFO admission means a new
+//!    request waits behind the outstanding ones; this is the signal the
+//!    SFQ(D2) controller feeds on.
+//! 4. **Write-back cache flush spikes.** Writes are absorbed at memory
+//!    speed while the dirty set is under `dirty_limit` and drain in the
+//!    background; periodically the page cache forces a foreground flush
+//!    that stalls the device — the latency spikes at ~260 s and ~790 s in
+//!    Fig. 7. Even once the cache is full and writes run at disk speed,
+//!    the flusher coalesces them into large sequential extents, so writes
+//!    carry no per-request seek cost (only reads are positional).
+
+use crate::device::{Device, DeviceKind, DeviceStats, InternalQueue};
+use crate::request::{DeviceRequest, IoKind, Started};
+use ibis_simcore::rng::SimRng;
+use ibis_simcore::units::{transfer_time, MIB};
+use ibis_simcore::{SimDuration, SimTime};
+
+/// Configuration of the rotating-disk model. Defaults approximate the
+/// paper's 500 GB 7.2K RPM SAS drives.
+#[derive(Debug, Clone)]
+pub struct HddConfig {
+    /// Sequential read bandwidth, bytes/sec.
+    pub seq_read_bw: f64,
+    /// Sequential write bandwidth, bytes/sec.
+    pub seq_write_bw: f64,
+    /// Average seek time when switching streams.
+    pub seek_time: SimDuration,
+    /// Seek jitter as a fraction of `seek_time` (uniform ±).
+    pub seek_jitter: f64,
+    /// Full rotational period (7200 RPM → 8.33 ms); the model adds a
+    /// uniform [0, period) rotational delay on each seek.
+    pub rotational_period: SimDuration,
+    /// Maximum consecutive same-stream services before the disk must take
+    /// the FIFO head (anticipatory batching bound).
+    pub batch_limit: u32,
+    /// Memory bandwidth at which the write-back cache absorbs writes.
+    pub cache_bw: f64,
+    /// Dirty-byte limit of the write-back cache; above it writes go at
+    /// disk speed.
+    pub dirty_limit: u64,
+    /// Background drain rate of dirty bytes, bytes/sec.
+    pub drain_bw: f64,
+    /// Period between foreground page-cache flushes (Fig. 7 spikes).
+    /// `SimDuration::MAX` disables them.
+    pub flush_interval: SimDuration,
+    /// Cap on the stall one foreground flush may impose.
+    pub flush_max_stall: SimDuration,
+    /// RNG seed for seek jitter and rotational phase.
+    pub seed: u64,
+}
+
+impl Default for HddConfig {
+    fn default() -> Self {
+        HddConfig {
+            seq_read_bw: 140e6,
+            seq_write_bw: 130e6,
+            seek_time: SimDuration::from_micros(7_500),
+            seek_jitter: 0.4,
+            rotational_period: SimDuration::from_micros(8_333),
+            batch_limit: 12,
+            cache_bw: 2e9,
+            dirty_limit: 256 * MIB,
+            drain_bw: 40e6,
+            flush_interval: SimDuration::from_secs(500),
+            flush_max_stall: SimDuration::from_secs(3),
+            seed: 0x1b15,
+        }
+    }
+}
+
+/// The rotating-disk device model. See the module docs for the behaviours
+/// it reproduces.
+#[derive(Debug, Clone)]
+pub struct Hdd {
+    cfg: HddConfig,
+    rng: SimRng,
+    /// The single request in service, if any.
+    in_service: Option<u64>,
+    queue: InternalQueue,
+    /// Stream served by the last disk-touching request.
+    head_stream: Option<u64>,
+    batch_run: u32,
+    /// Write-back cache state.
+    dirty: u64,
+    last_drain: SimTime,
+    next_flush: SimTime,
+    stats: DeviceStats,
+    busy_since: Option<SimTime>,
+}
+
+impl Hdd {
+    /// Creates a disk from its configuration.
+    pub fn new(cfg: HddConfig) -> Self {
+        let mut rng = SimRng::new(cfg.seed);
+        let first_flush = if cfg.flush_interval == SimDuration::MAX {
+            SimTime::MAX
+        } else {
+            // Stagger the first flush so co-located disks don't spike in
+            // lock-step.
+            SimTime::ZERO
+                + cfg.flush_interval
+                + SimDuration::from_secs_f64(
+                    rng.range_f64(0.0, 0.2) * cfg.flush_interval.as_secs_f64(),
+                )
+        };
+        Hdd {
+            cfg,
+            rng,
+            in_service: None,
+            queue: InternalQueue::default(),
+            head_stream: None,
+            batch_run: 0,
+            dirty: 0,
+            last_drain: SimTime::ZERO,
+            next_flush: first_flush,
+            stats: DeviceStats::default(),
+            busy_since: None,
+        }
+    }
+
+    /// Current dirty bytes in the write-back cache (for tests/reports).
+    pub fn dirty_bytes(&self) -> u64 {
+        self.dirty
+    }
+
+    /// The configuration this disk was built with.
+    pub fn config(&self) -> &HddConfig {
+        &self.cfg
+    }
+
+    fn drain_dirty(&mut self, now: SimTime) {
+        let elapsed = now.saturating_since(self.last_drain);
+        self.last_drain = now;
+        let drained = (self.cfg.drain_bw * elapsed.as_secs_f64()) as u64;
+        self.dirty = self.dirty.saturating_sub(drained);
+    }
+
+    fn positional_cost(&mut self, stream: u64) -> SimDuration {
+        if self.head_stream == Some(stream) {
+            return SimDuration::ZERO;
+        }
+        let jitter = self
+            .rng
+            .range_f64(-self.cfg.seek_jitter, self.cfg.seek_jitter);
+        let seek = SimDuration::from_secs_f64(
+            self.cfg.seek_time.as_secs_f64() * (1.0 + jitter),
+        );
+        let rot = SimDuration::from_secs_f64(
+            self.rng.f64() * self.cfg.rotational_period.as_secs_f64(),
+        );
+        seek + rot
+    }
+
+    /// Computes the service time for `req` starting at `now`, updating the
+    /// cache and positional state.
+    fn service_time(&mut self, req: &DeviceRequest, now: SimTime) -> SimDuration {
+        self.drain_dirty(now);
+
+        // Periodic foreground flush: the first service to start after the
+        // deadline pays the stall.
+        let mut flush_stall = SimDuration::ZERO;
+        if now >= self.next_flush {
+            let drain_all = transfer_time(self.dirty, self.cfg.seq_write_bw);
+            flush_stall = drain_all.min(self.cfg.flush_max_stall);
+            self.dirty = 0;
+            let jitter = 1.0 + self.rng.range_f64(-0.1, 0.1);
+            self.next_flush = now
+                + SimDuration::from_secs_f64(
+                    self.cfg.flush_interval.as_secs_f64() * jitter,
+                );
+        }
+
+        let base = match req.kind {
+            IoKind::Write if self.dirty + req.bytes <= self.cfg.dirty_limit => {
+                // Absorbed by the write-back cache; the head does not move.
+                self.dirty += req.bytes;
+                transfer_time(req.bytes, self.cfg.cache_bw)
+            }
+            IoKind::Write => {
+                // Disk-speed writes still flow through the write-back
+                // cache: the flusher coalesces dirty pages into large
+                // sequential extents, so per-request positional costs are
+                // negligible — but the flusher does move the head, so the
+                // next read pays a seek.
+                self.head_stream = None;
+                transfer_time(req.bytes, self.cfg.seq_write_bw)
+            }
+            IoKind::Read => {
+                let pos = self.positional_cost(req.stream);
+                self.head_stream = Some(req.stream);
+                pos + transfer_time(req.bytes, self.cfg.seq_read_bw)
+            }
+        };
+        flush_stall + base
+    }
+
+    fn start(&mut self, req: DeviceRequest, now: SimTime, out: &mut Vec<Started>) {
+        match req.kind {
+            IoKind::Read => self.stats.bytes_read += req.bytes,
+            IoKind::Write => self.stats.bytes_written += req.bytes,
+        }
+        let service = self.service_time(&req, now);
+        self.in_service = Some(req.id);
+        out.push(Started {
+            id: req.id,
+            complete_at: now + service,
+        });
+    }
+
+    /// Picks the next queued request: same-stream batching bounded by
+    /// `batch_limit`, else FIFO head.
+    fn select_next(&mut self) -> Option<DeviceRequest> {
+        if let Some(stream) = self.head_stream {
+            if self.batch_run < self.cfg.batch_limit {
+                if let Some(req) = self.queue.pop_stream(stream) {
+                    self.batch_run += 1;
+                    return Some(req);
+                }
+            }
+        }
+        self.batch_run = 0;
+        self.queue.pop_front()
+    }
+}
+
+impl Device for Hdd {
+    fn submit(&mut self, req: DeviceRequest, now: SimTime, out: &mut Vec<Started>) {
+        if self.in_service.is_none() {
+            self.busy_since = Some(now);
+            self.batch_run = 0;
+            self.start(req, now, out);
+        } else {
+            self.queue.push(req);
+        }
+    }
+
+    fn on_complete(&mut self, id: u64, now: SimTime, out: &mut Vec<Started>) {
+        debug_assert_eq!(self.in_service, Some(id), "completion id mismatch");
+        self.in_service = None;
+        self.stats.completed += 1;
+        if let Some(req) = self.select_next() {
+            self.start(req, now, out);
+        } else if let Some(since) = self.busy_since.take() {
+            self.stats.busy += now - since;
+        }
+    }
+
+    fn in_service(&self) -> usize {
+        usize::from(self.in_service.is_some())
+    }
+
+    fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::Hdd
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibis_simcore::units::GIB;
+
+    fn quiet_cfg() -> HddConfig {
+        HddConfig {
+            flush_interval: SimDuration::MAX,
+            ..HddConfig::default()
+        }
+    }
+
+    fn read(id: u64, stream: u64, bytes: u64) -> DeviceRequest {
+        DeviceRequest {
+            id,
+            kind: IoKind::Read,
+            stream,
+            bytes,
+        }
+    }
+
+    fn write(id: u64, stream: u64, bytes: u64) -> DeviceRequest {
+        DeviceRequest {
+            id,
+            kind: IoKind::Write,
+            stream,
+            bytes,
+        }
+    }
+
+    /// Drives the disk with `reqs` one outstanding at a time; returns total
+    /// elapsed time.
+    fn run_serial(d: &mut Hdd, reqs: Vec<DeviceRequest>) -> SimDuration {
+        let mut now = SimTime::ZERO;
+        let mut out = Vec::new();
+        for r in reqs {
+            out.clear();
+            let id = r.id;
+            d.submit(r, now, &mut out);
+            assert_eq!(out.len(), 1);
+            now = out[0].complete_at;
+            out.clear();
+            d.on_complete(id, now, &mut out);
+            assert!(out.is_empty());
+        }
+        now - SimTime::ZERO
+    }
+
+    #[test]
+    fn sequential_reads_hit_full_bandwidth() {
+        let mut d = Hdd::new(quiet_cfg());
+        let n = 64u64;
+        let total = run_serial(
+            &mut d,
+            (0..n).map(|i| read(i, 1, 4 * MIB)).collect(),
+        );
+        let bw = (n * 4 * MIB) as f64 / total.as_secs_f64();
+        // One initial seek amortised over 64 requests: ≥ 95 % of rated bw.
+        assert!(bw > 0.95 * 140e6, "sequential bw {bw}");
+    }
+
+    #[test]
+    fn interleaved_streams_lose_bandwidth_to_seeks() {
+        let mut d = Hdd::new(quiet_cfg());
+        let n = 64u64;
+        // strict alternation: stream 1, 2, 1, 2, ...
+        let total = run_serial(
+            &mut d,
+            (0..n).map(|i| read(i, 1 + i % 2, 4 * MIB)).collect(),
+        );
+        let bw = (n * 4 * MIB) as f64 / total.as_secs_f64();
+        assert!(
+            bw < 0.85 * 140e6,
+            "interleaved bw {bw} should be well below sequential"
+        );
+    }
+
+    #[test]
+    fn batching_recovers_bandwidth_under_depth() {
+        // With both streams queued deeply, the anticipatory batcher should
+        // serve runs of each and approach sequential bandwidth.
+        let mut d = Hdd::new(quiet_cfg());
+        let mut out = Vec::new();
+        let n = 128u64;
+        for i in 0..n {
+            d.submit(read(i, 1 + i % 2, 4 * MIB), SimTime::ZERO, &mut out);
+        }
+        // engine loop
+        let mut completed = 0;
+        let mut last = SimTime::ZERO;
+        while let Some(s) = out.pop() {
+            last = s.complete_at;
+            d.on_complete(s.id, s.complete_at, &mut out);
+            completed += 1;
+        }
+        assert_eq!(completed, n);
+        let bw = (n * 4 * MIB) as f64 / (last - SimTime::ZERO).as_secs_f64();
+        assert!(bw > 0.9 * 140e6, "batched bw {bw}");
+    }
+
+    #[test]
+    fn writes_absorbed_until_dirty_limit() {
+        let mut d = Hdd::new(quiet_cfg());
+        let mut out = Vec::new();
+        // 4 MiB write absorbed at cache speed: ~2 ms, far below disk time.
+        d.submit(write(1, 1, 4 * MIB), SimTime::ZERO, &mut out);
+        let fast = out[0].complete_at - SimTime::ZERO;
+        assert!(fast < SimDuration::from_millis(5), "absorbed write {fast}");
+        assert_eq!(d.dirty_bytes(), 4 * MIB);
+    }
+
+    #[test]
+    fn writes_slow_to_disk_speed_when_cache_full() {
+        let cfg = HddConfig {
+            dirty_limit: 8 * MIB,
+            drain_bw: 0.0,
+            ..quiet_cfg()
+        };
+        let mut d = Hdd::new(cfg);
+        // Fill the cache (2 × 4 MiB), then the next write must hit the disk.
+        run_serial(&mut d, vec![write(1, 1, 4 * MIB), write(2, 1, 4 * MIB)]);
+        let mut out = Vec::new();
+        d.submit(write(3, 1, 4 * MIB), SimTime::from_secs(1), &mut out);
+        let service = out[0].complete_at - SimTime::from_secs(1);
+        // 4 MiB at 130 MB/s ≈ 32 ms (plus seek)
+        assert!(
+            service > SimDuration::from_millis(25),
+            "disk-speed write took only {service}"
+        );
+    }
+
+    #[test]
+    fn dirty_drains_over_time() {
+        let cfg = HddConfig {
+            drain_bw: 10e6,
+            ..quiet_cfg()
+        };
+        let mut d = Hdd::new(cfg);
+        let mut out = Vec::new();
+        d.submit(write(1, 1, 8 * MIB), SimTime::ZERO, &mut out);
+        d.on_complete(1, out[0].complete_at, &mut Vec::new());
+        assert_eq!(d.dirty_bytes(), 8 * MIB);
+        // After 1 s, ~10 MB should have drained (more than 8 MiB).
+        out.clear();
+        d.submit(read(2, 1, MIB), SimTime::from_secs(2), &mut out);
+        assert_eq!(d.dirty_bytes(), 0);
+    }
+
+    #[test]
+    fn periodic_flush_stalls_service() {
+        let cfg = HddConfig {
+            flush_interval: SimDuration::from_secs(10),
+            flush_max_stall: SimDuration::from_secs(2),
+            drain_bw: 0.0,
+            ..HddConfig::default()
+        };
+        let mut d = Hdd::new(cfg);
+        // Build up dirty bytes.
+        run_serial(&mut d, vec![write(1, 1, 100 * MIB)]);
+        assert!(d.dirty_bytes() > 0);
+        // A read far past the flush deadline pays the stall.
+        let mut out = Vec::new();
+        d.submit(read(2, 1, MIB), SimTime::from_secs(30), &mut out);
+        let service = out[0].complete_at - SimTime::from_secs(30);
+        assert!(
+            service > SimDuration::from_millis(500),
+            "flush stall missing: {service}"
+        );
+        assert_eq!(d.dirty_bytes(), 0);
+    }
+
+    #[test]
+    fn queueing_latency_grows_with_outstanding() {
+        let mut d = Hdd::new(quiet_cfg());
+        let mut out = Vec::new();
+        for i in 0..8 {
+            d.submit(read(i, 1, 4 * MIB), SimTime::ZERO, &mut out);
+        }
+        assert_eq!(d.in_service(), 1);
+        assert_eq!(d.queued(), 7);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut d = Hdd::new(quiet_cfg());
+        run_serial(&mut d, vec![read(1, 1, MIB), write(2, 1, MIB)]);
+        let s = d.stats();
+        assert_eq!(s.bytes_read, MIB);
+        assert_eq!(s.bytes_written, MIB);
+        assert_eq!(s.completed, 2);
+        assert!(s.busy > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn batch_limit_prevents_starvation() {
+        let cfg = HddConfig {
+            batch_limit: 4,
+            ..quiet_cfg()
+        };
+        let mut d = Hdd::new(cfg);
+        let mut out = Vec::new();
+        // Stream 1 starts with two requests and keeps refilling (a closed
+        // loop, like an I/O-bound task); stream 2 queues one request early.
+        d.submit(read(0, 1, 4 * MIB), SimTime::ZERO, &mut out);
+        d.submit(read(1, 1, 4 * MIB), SimTime::ZERO, &mut out);
+        d.submit(read(100, 2, 4 * MIB), SimTime::ZERO, &mut out);
+        let mut order = Vec::new();
+        let mut next_id = 2;
+        while let Some(s) = out.pop() {
+            order.push(s.id);
+            if order.len() > 20 {
+                break;
+            }
+            // refill stream 1 so batching always has a same-stream option
+            if s.id != 100 {
+                d.submit(read(next_id, 1, 4 * MIB), s.complete_at, &mut out);
+                next_id += 1;
+            }
+            d.on_complete(s.id, s.complete_at, &mut out);
+        }
+        let pos = order.iter().position(|&id| id == 100).unwrap();
+        // Without the batch limit, continuously refilled stream 1 would be
+        // preferred forever; with batch_limit = 4 the stranger is reached
+        // after at most one full batch run.
+        assert!(
+            (1..=6).contains(&pos),
+            "stream 2 served at position {pos}, expected within one batch run"
+        );
+    }
+
+    #[test]
+    fn write_cache_is_never_charged_a_seek() {
+        // Absorbed writes interleaved with reads must not degrade the read
+        // stream's sequentiality.
+        let mut d = Hdd::new(HddConfig {
+            dirty_limit: GIB,
+            ..quiet_cfg()
+        });
+        let n = 32u64;
+        let mut reqs = Vec::new();
+        for i in 0..n {
+            reqs.push(read(2 * i, 1, 4 * MIB));
+            reqs.push(write(2 * i + 1, 999, 64 * 1024));
+        }
+        let total = run_serial(&mut d, reqs);
+        let read_bytes = n * 4 * MIB;
+        let bw = read_bytes as f64 / total.as_secs_f64();
+        assert!(bw > 0.9 * 140e6, "reads degraded by absorbed writes: {bw}");
+    }
+}

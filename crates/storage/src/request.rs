@@ -1,0 +1,46 @@
+//! Device-level request types.
+
+use ibis_simcore::SimTime;
+
+/// Direction of a device I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoKind {
+    /// A read from the device.
+    Read,
+    /// A write to the device.
+    Write,
+}
+
+impl IoKind {
+    /// True for [`IoKind::Read`].
+    pub fn is_read(self) -> bool {
+        matches!(self, IoKind::Read)
+    }
+}
+
+/// One request as seen by a device, i.e. *after* the IBIS scheduler has
+/// dispatched it. `stream` identifies a logically sequential byte stream
+/// (one task's reads of one block, one spill file, …); the HDD model uses
+/// consecutive same-stream requests to decide whether a seek is needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceRequest {
+    /// Caller-assigned unique id; echoed back in [`Started`].
+    pub id: u64,
+    /// Read or write.
+    pub kind: IoKind,
+    /// Sequential-stream key for positional cost modelling.
+    pub stream: u64,
+    /// Request size in bytes.
+    pub bytes: u64,
+}
+
+/// Notification that a request has entered service and will complete at
+/// `complete_at`. The engine schedules a completion event at that instant
+/// and must then call [`crate::Device::on_complete`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Started {
+    /// The request that entered service.
+    pub id: u64,
+    /// Absolute completion instant.
+    pub complete_at: SimTime,
+}

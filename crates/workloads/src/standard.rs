@@ -1,0 +1,144 @@
+//! The classic MapReduce benchmarks of §7.1–§7.2.
+//!
+//! Calibration targets (Fig. 2, Fig. 3):
+//!
+//! * **TeraGen** is almost pure HDFS writing — the "highly I/O-intensive
+//!   application" that interferes with everything else.
+//! * **TeraSort** moves its full input through every phase: intensive HDFS
+//!   reads + local spills in the map phase, a full-volume shuffle, and
+//!   intensive replicated HDFS writes in the reduce phase (Fig. 2a).
+//! * **WordCount** is CPU-bound with a much lower I/O rate: it reads its
+//!   input slowly, produces moderate intermediate traffic throughout both
+//!   phases, and writes a tiny output (Fig. 2b) — which is exactly why a
+//!   work-conserving scheduler lets TeraGen starve it (§7.2).
+//! * **TeraValidate** reads everything and writes almost nothing.
+
+use ibis_mapreduce::{InputSpec, JobSpec};
+use ibis_simcore::units::{GIB, HDFS_BLOCK, MIB};
+
+/// TeraGen writing `output_bytes` of HDFS data (the paper uses 1 TB).
+/// Map-only; each map generates one 128 MiB block. Generation is cheap
+/// (~400 MB/s/core), so the job is storage-bound.
+pub fn teragen(output_bytes: u64) -> JobSpec {
+    let maps = (output_bytes / HDFS_BLOCK).max(1) as u32;
+    JobSpec {
+        input: InputSpec::None { maps },
+        gen_bytes_per_map: HDFS_BLOCK,
+        map_output_ratio: 1.0,
+        map_cpu_rate: 400e6,
+        reduces: 0,
+        ..JobSpec::named("TeraGen")
+    }
+}
+
+/// TeraSort over `input_bytes` (the paper sweeps 50–400 GB). The input
+/// file must be registered as `"terasort-input"` unless the spec's input
+/// name is overridden.
+pub fn terasort(input_bytes: u64) -> JobSpec {
+    // One reduce per ~1 GiB of input, bounded to the paper's task scale.
+    let reduces = (input_bytes / GIB).clamp(8, 96) as u32;
+    JobSpec {
+        input: InputSpec::DfsFile {
+            name: "terasort-input".to_string(),
+            bytes: input_bytes,
+        },
+        map_output_ratio: 1.0,
+        map_cpu_rate: 150e6,
+        // Fast sequential scanner → aggressive OS read-ahead.
+        read_ahead: Some(3),
+        reduces,
+        reduce_output_ratio: 1.0,
+        reduce_cpu_rate: 150e6,
+        // Partitions are ~1 GiB ≥ threshold → on-disk merge, matching the
+        // heavy reduce-side intermediate I/O of Fig. 2a.
+        merge_threshold: 512 * MIB,
+        ..JobSpec::named("TeraSort")
+    }
+}
+
+/// TeraValidate over `input_bytes`: full-volume read, negligible output.
+pub fn teravalidate(input_bytes: u64) -> JobSpec {
+    JobSpec {
+        input: InputSpec::DfsFile {
+            name: "teravalidate-input".to_string(),
+            bytes: input_bytes,
+        },
+        map_output_ratio: 0.0005,
+        map_cpu_rate: 300e6,
+        // Full-speed sequential scan: the OS read-ahead pipeline stays
+        // saturated (see JobSpec::read_ahead).
+        read_ahead: Some(4),
+        reduces: 1,
+        reduce_output_ratio: 1.0,
+        reduce_cpu_rate: 100e6,
+        ..JobSpec::named("TeraValidate")
+    }
+}
+
+/// WordCount over `input_bytes` of text (the paper uses 50 GB of
+/// Wikipedia). CPU-bound maps (~4 MB/s/core with tokenisation +
+/// combining), moderate intermediate output, tiny final output.
+pub fn wordcount(input_bytes: u64) -> JobSpec {
+    JobSpec {
+        input: InputSpec::DfsFile {
+            name: "wordcount-input".to_string(),
+            bytes: input_bytes,
+        },
+        map_output_ratio: 0.25,
+        map_cpu_rate: 4e6,
+        reduces: 8,
+        reduce_output_ratio: 0.05,
+        reduce_cpu_rate: 25e6,
+        ..JobSpec::named("WordCount")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibis_simcore::units::TIB;
+
+    #[test]
+    fn teragen_scales_maps_with_output() {
+        let g = teragen(TIB);
+        match g.input {
+            InputSpec::None { maps } => assert_eq!(maps, 8192),
+            _ => panic!("teragen must be a generator job"),
+        }
+        assert_eq!(g.reduces, 0);
+        assert_eq!(g.gen_bytes_per_map, HDFS_BLOCK);
+    }
+
+    #[test]
+    fn terasort_moves_full_volume() {
+        let t = terasort(50 * GIB);
+        assert_eq!(t.input_bytes(), 50 * GIB);
+        assert_eq!(t.map_output_ratio, 1.0);
+        assert_eq!(t.reduce_output_ratio, 1.0);
+        assert_eq!(t.reduces, 50);
+        assert_eq!(t.shuffle_bytes(50 * GIB), 50 * GIB);
+    }
+
+    #[test]
+    fn terasort_reduce_count_clamped() {
+        assert_eq!(terasort(GIB).reduces, 8);
+        assert_eq!(terasort(400 * GIB).reduces, 96);
+    }
+
+    #[test]
+    fn wordcount_is_cpu_bound_relative_to_terasort() {
+        let wc = wordcount(50 * GIB);
+        let ts = terasort(50 * GIB);
+        assert!(wc.map_cpu_rate < ts.map_cpu_rate / 10.0);
+        assert!(wc.map_output_ratio < ts.map_output_ratio);
+        assert!(wc.reduce_output_ratio < 0.1);
+    }
+
+    #[test]
+    fn teravalidate_reads_everything_writes_nothing() {
+        let tv = teravalidate(TIB);
+        assert_eq!(tv.input_bytes(), TIB);
+        assert!(tv.map_output_ratio < 0.001);
+        assert_eq!(tv.reduces, 1);
+    }
+}

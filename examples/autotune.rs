@@ -1,0 +1,54 @@
+//! Automatic knob tuning (the paper's §9 future work): find the smallest
+//! I/O weight that keeps WordCount within 15 % of its standalone runtime
+//! while TeraGen floods the cluster.
+//!
+//! ```sh
+//! cargo run --release --example autotune
+//! ```
+
+use ibis::cluster::tune_weight;
+use ibis::core::SfqD2Config;
+use ibis::prelude::*;
+use ibis::simcore::units::GIB;
+
+fn main() {
+    let wc_bytes = 6 * GIB;
+    let tg_bytes = 64 * GIB;
+
+    // Standalone baseline.
+    let mut alone = Experiment::new(ClusterConfig::default());
+    alone.add_job(wordcount(wc_bytes).max_slots(48));
+    let base = alone.run().runtime_secs("WordCount").unwrap();
+    println!("WordCount alone: {base:.1} s; target: within 15% of that\n");
+
+    let result = tune_weight(
+        |weight| {
+            let cfg = ClusterConfig::default()
+                .with_policy(Policy::SfqD2(SfqD2Config::default()))
+                .with_coordination(true);
+            let mut exp = Experiment::new(cfg);
+            exp.add_job(wordcount(wc_bytes).max_slots(48).io_weight(weight));
+            exp.add_job(teragen(tg_bytes).max_slots(48).io_weight(1.0));
+            exp.run()
+        },
+        |r| r.runtime_secs("WordCount").unwrap(),
+        base,
+        1.15,
+        64.0,
+    );
+
+    println!("probe history:");
+    for (w, sd) in &result.probes {
+        println!("  weight {w:>6.1}  →  slowdown {:+.0}%", (sd - 1.0) * 100.0);
+    }
+    println!(
+        "\nselected weight {:.1} achieving {:+.0}% slowdown",
+        result.weight,
+        (result.achieved_slowdown - 1.0) * 100.0
+    );
+    println!(
+        "\nThe paper leaves \"how to automatically tune this new knob\" as \
+         future work (§9); with a deterministic cluster model the loop \
+         closes in a handful of simulated runs."
+    );
+}
