@@ -1,0 +1,74 @@
+//! Criterion bench of the parallel sweep engine: a fixed batch of small
+//! cluster simulations pushed through [`SweepRunner`] at width 1 (the
+//! exact serial path) and at the machine width. The ratio is the
+//! experiment-suite speedup; the width-1 row doubles as a regression
+//! guard on the per-run engine hot paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ibis_cluster::prelude::*;
+use ibis_core::SfqD2Config;
+use ibis_simcore::units::GIB;
+use ibis_simcore::SimDuration;
+use ibis_workloads::terasort;
+
+const BATCH: usize = 8;
+
+fn small_cluster(policy: Policy, seed: u64) -> ClusterConfig {
+    let coordinated = policy.coordinates();
+    ClusterConfig {
+        nodes: 4,
+        cores_per_node: 4,
+        seed,
+        hdfs_device: DeviceSpec::Ideal {
+            bandwidth: 150e6,
+            latency: SimDuration::from_micros(300),
+        },
+        scratch_device: DeviceSpec::Ideal {
+            bandwidth: 150e6,
+            latency: SimDuration::from_micros(300),
+        },
+        auto_reference: false,
+        ..ClusterConfig::default()
+    }
+    .with_policy(policy)
+    .with_coordination(coordinated)
+}
+
+fn batch() -> Vec<Experiment> {
+    (0..BATCH)
+        .map(|i| {
+            let policy = if i % 2 == 0 {
+                Policy::SfqD2(SfqD2Config::default())
+            } else {
+                Policy::Native
+            };
+            let mut exp = Experiment::new(small_cluster(policy, i as u64));
+            exp.add_job(terasort(GIB).max_slots(8));
+            exp
+        })
+        .collect()
+}
+
+fn sweep(c: &mut Criterion) {
+    let machine = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut group = c.benchmark_group("sweep_runner");
+    group.sample_size(3);
+    group.throughput(Throughput::Elements(BATCH as u64));
+    let mut widths = vec![1usize];
+    if machine > 1 {
+        widths.push(machine);
+    }
+    for jobs in widths {
+        group.bench_with_input(
+            BenchmarkId::new(format!("batch{BATCH}"), jobs),
+            &jobs,
+            |b, &jobs| {
+                b.iter(|| SweepRunner::with_jobs(jobs).run_all(batch()).len());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sweep);
+criterion_main!(benches);

@@ -1,36 +1,46 @@
 //! Runs the complete figure/table suite and saves every result file —
 //! the one-command regeneration entry point for EXPERIMENTS.md.
-//! Scale via IBIS_SCALE={quick,paper}.
+//!
+//! * Scale via `IBIS_SCALE={quick,paper}`.
+//! * Parallelism via `IBIS_JOBS=N` (default: all cores; `1` = the exact
+//!   serial path). Each figure fans its independent simulations across
+//!   the sweep pool; results are byte-identical at any width.
+//! * A named subset runs only those entries: `all_experiments fig06
+//!   fig12`. Unknown names abort with the list of valid ones.
 
-use ibis_bench::figs::*;
+use ibis_bench::figs::{suite, FigureFn};
 use ibis_bench::ScaleProfile;
-
-type FigureFn = fn(ScaleProfile) -> ibis_bench::ResultSink;
 
 fn main() {
     let scale = ScaleProfile::from_env();
+    let all = suite();
+
+    // Optional named subset: `all_experiments fig06 fig12` runs only
+    // those entries, in suite order.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let unknown: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !all.iter().any(|(name, _)| name == a))
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!("unknown experiment name(s): {}", unknown.join(", "));
+        eprintln!(
+            "valid names: {}",
+            all.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" ")
+        );
+        std::process::exit(2);
+    }
+    let runs: Vec<(&str, FigureFn)> = if args.is_empty() {
+        all
+    } else {
+        all.into_iter()
+            .filter(|(name, _)| args.iter().any(|a| a == name))
+            .collect()
+    };
+
     let t0 = std::time::Instant::now();
-    let runs: Vec<(&str, FigureFn)> = vec![
-        ("tab01", tab01_config::run),
-        ("fig02", fig02_profiles::run),
-        ("fig03", fig03_motivation::run),
-        ("fig06", fig06_isolation_hdd::run),
-        ("fig07", fig07_depth_trace::run),
-        ("fig08", fig08_isolation_ssd::run),
-        ("fig09", fig09_facebook::run),
-        ("fig10", fig10_multiframework::run),
-        ("fig11", fig11_prop_slowdown::run),
-        ("fig12", fig12_coordination::run),
-        ("fig13", fig13_overhead::run),
-        ("tab02", tab02_resources::run),
-        ("tab03", tab03_loc::run),
-        ("ablate_controller", ablations::controller),
-        ("ablate_sync_period", ablations::sync_period),
-        ("ablate_delay_cap", ablations::delay_cap),
-        ("ablate_write_window", ablations::write_window),
-        ("ablate_strict", ablations::strict),
-        ("ablate_network_control", ablations::network_control),
-    ];
+    let count = runs.len();
     for (name, f) in runs {
         println!("\n================ {name} ================\n");
         let t = std::time::Instant::now();
@@ -39,7 +49,7 @@ fn main() {
         println!("[{name} done in {:.1}s]", t.elapsed().as_secs_f64());
     }
     println!(
-        "\nAll experiments regenerated in {:.1}s at {}.",
+        "\n{count} experiment(s) regenerated in {:.1}s at {}.",
         t0.elapsed().as_secs_f64(),
         scale.label()
     );

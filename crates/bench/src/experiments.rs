@@ -68,6 +68,17 @@ pub fn tv_half(scale: ScaleProfile) -> JobSpec {
     teravalidate(scale.bytes(volumes::TERAVALIDATE)).max_slots(48)
 }
 
+/// A boxed experiment thunk: one independent simulation in a
+/// [`SweepRunner`] batch. Boxing erases the closure type so a figure can
+/// mix baseline and contended runs in a single fan-out and post-process
+/// the reports in submission order.
+pub type RunThunk = Box<dyn FnOnce() -> RunReport + Send>;
+
+/// Boxes a run closure into a [`RunThunk`] batch entry.
+pub fn run_thunk(f: impl FnOnce() -> RunReport + Send + 'static) -> RunThunk {
+    Box::new(f)
+}
+
 /// Percentage slowdown of `runtime` w.r.t. `baseline` (the paper's "107%"
 /// notation: runtime 2.07× baseline → 107).
 pub fn slowdown_pct(runtime: f64, baseline: f64) -> f64 {

@@ -1,7 +1,7 @@
 //! Ablations of the design choices DESIGN.md §5 calls out. Not paper
 //! figures — they quantify how each knob moves the Fig. 6 result.
 
-use crate::experiments::{hdd_cluster, slowdown_pct, tg_half, wc_half};
+use crate::experiments::{hdd_cluster, run_thunk, slowdown_pct, tg_half, wc_half, RunThunk};
 use crate::results::ResultSink;
 use crate::scale::ScaleProfile;
 use crate::table::Table;
@@ -9,21 +9,28 @@ use ibis_cluster::prelude::*;
 use ibis_core::{ControllerConfig, SfqD2Config};
 use ibis_simcore::SimDuration;
 
-fn wc_alone(scale: ScaleProfile) -> f64 {
-    let mut exp = Experiment::new(hdd_cluster(Policy::Native));
-    exp.add_job(wc_half(scale));
-    exp.run().runtime_secs("WordCount").expect("wc")
+/// The standalone WordCount baseline every ablation normalises against.
+fn wc_alone(scale: ScaleProfile) -> RunThunk {
+    run_thunk(move || {
+        let mut exp = Experiment::new(hdd_cluster(Policy::Native));
+        exp.add_job(wc_half(scale));
+        exp.run()
+    })
 }
 
-fn contended(scale: ScaleProfile, cluster: ClusterConfig) -> (f64, f64) {
-    let mut exp = Experiment::new(cluster);
-    exp.add_job(wc_half(scale).io_weight(32.0));
-    exp.add_job(tg_half(scale).io_weight(1.0));
-    let r = exp.run();
-    (
-        r.runtime_secs("WordCount").expect("wc"),
-        r.mean_total_throughput() / 1e6,
-    )
+fn wc_secs(r: &RunReport) -> f64 {
+    r.runtime_secs("WordCount").expect("wc")
+}
+
+/// The standard contended pair (WordCount 32:1 against TeraGen) on the
+/// given cluster.
+fn contended(scale: ScaleProfile, cluster: ClusterConfig) -> RunThunk {
+    run_thunk(move || {
+        let mut exp = Experiment::new(cluster);
+        exp.add_job(wc_half(scale).io_weight(32.0));
+        exp.add_job(tg_half(scale).io_weight(1.0));
+        exp.run()
+    })
 }
 
 fn d2_policy(f: impl FnOnce(&mut SfqD2Config)) -> Policy {
@@ -36,29 +43,40 @@ fn d2_policy(f: impl FnOnce(&mut SfqD2Config)) -> Policy {
 pub fn controller(scale: ScaleProfile) -> ResultSink {
     let mut sink = ResultSink::new("ablate_controller", scale.label());
     println!("Ablation — SFQ(D2) controller gain and reference latency\n");
-    let base = wc_alone(scale);
+
+    let grid: Vec<(f64, u64)> = [1e-7, 1e-6, 1e-5]
+        .into_iter()
+        .flat_map(|gain| [40u64, 120, 260].into_iter().map(move |l| (gain, l)))
+        .collect();
+
+    // One batch: the standalone baseline plus the nine grid points.
+    let mut thunks: Vec<RunThunk> = vec![wc_alone(scale)];
+    for &(gain, lref_ms) in &grid {
+        let mut cluster = hdd_cluster(d2_policy(|c| {
+            c.controller = ControllerConfig {
+                gain_per_us: gain,
+                ..ControllerConfig::default()
+            }
+            .with_reference(SimDuration::from_millis(lref_ms));
+        }));
+        cluster.auto_reference = false;
+        thunks.push(contended(scale, cluster));
+    }
+    let mut reports = SweepRunner::from_env().run_thunks(thunks).into_iter();
+    let base = wc_secs(&reports.next().expect("baseline"));
 
     let mut t = Table::new(&["gain (per µs)", "L_ref", "wc slowdown", "thr MB/s"]);
-    for gain in [1e-7, 1e-6, 1e-5] {
-        for lref_ms in [40u64, 120, 260] {
-            let mut cluster = hdd_cluster(d2_policy(|c| {
-                c.controller = ControllerConfig {
-                    gain_per_us: gain,
-                    ..ControllerConfig::default()
-                }
-                .with_reference(SimDuration::from_millis(lref_ms));
-            }));
-            cluster.auto_reference = false;
-            let (wc, thr) = contended(scale, cluster);
-            let sd = slowdown_pct(wc, base);
-            t.row(&[
-                format!("{gain:.0e}"),
-                format!("{lref_ms} ms"),
-                format!("{sd:+.0}%"),
-                format!("{thr:.0}"),
-            ]);
-            sink.record(&format!("g{gain:.0e}_l{lref_ms}_slowdown_pct"), sd);
-        }
+    for (gain, lref_ms) in grid {
+        let r = reports.next().expect("grid report");
+        let (wc, thr) = (wc_secs(&r), r.mean_total_throughput() / 1e6);
+        let sd = slowdown_pct(wc, base);
+        t.row(&[
+            format!("{gain:.0e}"),
+            format!("{lref_ms} ms"),
+            format!("{sd:+.0}%"),
+            format!("{thr:.0}"),
+        ]);
+        sink.record(&format!("g{gain:.0e}_l{lref_ms}_slowdown_pct"), sd);
     }
     t.print();
     sink.note(
@@ -73,17 +91,21 @@ pub fn controller(scale: ScaleProfile) -> ResultSink {
 pub fn sync_period(scale: ScaleProfile) -> ResultSink {
     let mut sink = ResultSink::new("ablate_sync_period", scale.label());
     println!("Ablation — broker synchronisation period\n");
-    let base = wc_alone(scale);
 
-    let mut t = Table::new(&["sync period", "wc slowdown", "broker msgs", "broker KB"]);
-    for period_ms in [250u64, 1000, 4000, 16000] {
+    const PERIODS_MS: [u64; 4] = [250, 1000, 4000, 16000];
+    let mut thunks: Vec<RunThunk> = vec![wc_alone(scale)];
+    for period_ms in PERIODS_MS {
         let mut cluster = hdd_cluster(d2_policy(|_| {}));
         cluster.sync_period = SimDuration::from_millis(period_ms);
-        let mut exp = Experiment::new(cluster);
-        exp.add_job(wc_half(scale).io_weight(32.0));
-        exp.add_job(tg_half(scale).io_weight(1.0));
-        let r = exp.run();
-        let sd = slowdown_pct(r.runtime_secs("WordCount").expect("wc"), base);
+        thunks.push(contended(scale, cluster));
+    }
+    let mut reports = SweepRunner::from_env().run_thunks(thunks).into_iter();
+    let base = wc_secs(&reports.next().expect("baseline"));
+
+    let mut t = Table::new(&["sync period", "wc slowdown", "broker msgs", "broker KB"]);
+    for period_ms in PERIODS_MS {
+        let r = reports.next().expect("sweep report");
+        let sd = slowdown_pct(wc_secs(&r), base);
         t.row(&[
             format!("{period_ms} ms"),
             format!("{sd:+.0}%"),
@@ -105,20 +127,23 @@ pub fn sync_period(scale: ScaleProfile) -> ResultSink {
 pub fn delay_cap(scale: ScaleProfile) -> ResultSink {
     let mut sink = ResultSink::new("ablate_delay_cap", scale.label());
     println!("Ablation — DSFQ delay cap\n");
-    let base = wc_alone(scale);
 
-    let mut t = Table::new(&["delay cap", "wc slowdown", "tg runtime (s)"]);
-    for (label, cap) in [
+    const CAPS: [(&str, Option<u64>); 3] = [
         ("none", None),
         ("256 MiB", Some(256u64 << 20)),
         ("16 MiB", Some(16u64 << 20)),
-    ] {
-        let cluster = hdd_cluster(d2_policy(|c| c.delay_cap = cap));
-        let mut exp = Experiment::new(cluster);
-        exp.add_job(wc_half(scale).io_weight(32.0));
-        exp.add_job(tg_half(scale).io_weight(1.0));
-        let r = exp.run();
-        let sd = slowdown_pct(r.runtime_secs("WordCount").expect("wc"), base);
+    ];
+    let mut thunks: Vec<RunThunk> = vec![wc_alone(scale)];
+    for (_, cap) in CAPS {
+        thunks.push(contended(scale, hdd_cluster(d2_policy(|c| c.delay_cap = cap))));
+    }
+    let mut reports = SweepRunner::from_env().run_thunks(thunks).into_iter();
+    let base = wc_secs(&reports.next().expect("baseline"));
+
+    let mut t = Table::new(&["delay cap", "wc slowdown", "tg runtime (s)"]);
+    for (label, _) in CAPS {
+        let r = reports.next().expect("sweep report");
+        let sd = slowdown_pct(wc_secs(&r), base);
         t.row(&[
             label.into(),
             format!("{sd:+.0}%"),
@@ -142,16 +167,25 @@ pub fn delay_cap(scale: ScaleProfile) -> ResultSink {
 pub fn write_window(scale: ScaleProfile) -> ResultSink {
     let mut sink = ResultSink::new("ablate_write_window", scale.label());
     println!("Ablation — HDFS write-pipelining window (substrate model)\n");
-    let base = wc_alone(scale);
 
-    let mut t = Table::new(&["window", "native wc slowdown", "SFQ(D2) wc slowdown"]);
-    for window in [1u32, 4, 8, 16] {
-        let mut row = vec![format!("{window} chunks")];
+    const WINDOWS: [u32; 4] = [1, 4, 8, 16];
+    let mut thunks: Vec<RunThunk> = vec![wc_alone(scale)];
+    for window in WINDOWS {
         for policy in [Policy::Native, d2_policy(|_| {})] {
             let mut cluster = hdd_cluster(policy);
             cluster.hdfs_write_window = window;
-            let (wc, _) = contended(scale, cluster);
-            row.push(format!("{:+.0}%", slowdown_pct(wc, base)));
+            thunks.push(contended(scale, cluster));
+        }
+    }
+    let mut reports = SweepRunner::from_env().run_thunks(thunks).into_iter();
+    let base = wc_secs(&reports.next().expect("baseline"));
+
+    let mut t = Table::new(&["window", "native wc slowdown", "SFQ(D2) wc slowdown"]);
+    for window in WINDOWS {
+        let mut row = vec![format!("{window} chunks")];
+        for _ in 0..2 {
+            let r = reports.next().expect("sweep report");
+            row.push(format!("{:+.0}%", slowdown_pct(wc_secs(&r), base)));
         }
         sink.record(
             &format!("w{window}_native_slowdown_pct"),
@@ -174,16 +208,24 @@ pub fn write_window(scale: ScaleProfile) -> ResultSink {
 pub fn strict(scale: ScaleProfile) -> ResultSink {
     let mut sink = ResultSink::new("ablate_strict", scale.label());
     println!("Ablation — strict (non-work-conserving) partitioning vs SFQ(D2)\n");
-    let base = wc_alone(scale);
 
-    let mut t = Table::new(&["policy", "wc slowdown", "thr MB/s"]);
-    let mut native_thr = 0.0;
-    for (label, policy) in [
+    let configs = [
         ("Native", Policy::Native),
         ("SFQ(D2)", d2_policy(|_| {})),
         ("Strict(D=8)", Policy::Strict { depth: 8 }),
-    ] {
-        let (wc, thr) = contended(scale, hdd_cluster(policy));
+    ];
+    let mut thunks: Vec<RunThunk> = vec![wc_alone(scale)];
+    for (_, policy) in &configs {
+        thunks.push(contended(scale, hdd_cluster(policy.clone())));
+    }
+    let mut reports = SweepRunner::from_env().run_thunks(thunks).into_iter();
+    let base = wc_secs(&reports.next().expect("baseline"));
+
+    let mut t = Table::new(&["policy", "wc slowdown", "thr MB/s"]);
+    let mut native_thr = 0.0;
+    for (label, _) in configs {
+        let r = reports.next().expect("sweep report");
+        let (wc, thr) = (wc_secs(&r), r.mean_total_throughput() / 1e6);
         if label == "Native" {
             native_thr = thr;
         }
@@ -214,26 +256,31 @@ pub fn network_control(scale: ScaleProfile) -> ResultSink {
     let mut sink = ResultSink::new("ablate_network_control", scale.label());
     println!("Ablation — network bandwidth control (§3 future work), GigE fabric\n");
 
-    let mut base_cluster = hdd_cluster(Policy::Native);
-    base_cluster.nic_bw = 125e6;
-    let mut exp = Experiment::new(base_cluster);
-    exp.add_job(wc_half(scale));
-    let base = exp.run().runtime_secs("WordCount").expect("wc");
-
-    let mut t = Table::new(&["config", "wc slowdown", "tg runtime (s)"]);
-    for (label, policy, net) in [
+    let configs = [
         ("Native", Policy::Native, false),
         ("IBIS storage-only", d2_policy(|_| {}), false),
         ("IBIS + net control", d2_policy(|_| {}), true),
-    ] {
-        let mut cluster = hdd_cluster(policy);
+    ];
+    let mut thunks: Vec<RunThunk> = vec![run_thunk(move || {
+        let mut base_cluster = hdd_cluster(Policy::Native);
+        base_cluster.nic_bw = 125e6;
+        let mut exp = Experiment::new(base_cluster);
+        exp.add_job(wc_half(scale));
+        exp.run()
+    })];
+    for (_, policy, net) in &configs {
+        let mut cluster = hdd_cluster(policy.clone());
         cluster.nic_bw = 125e6;
-        cluster.network_control = net;
-        let mut exp = Experiment::new(cluster);
-        exp.add_job(wc_half(scale).io_weight(32.0));
-        exp.add_job(tg_half(scale).io_weight(1.0));
-        let r = exp.run();
-        let sd = slowdown_pct(r.runtime_secs("WordCount").expect("wc"), base);
+        cluster.network_control = *net;
+        thunks.push(contended(scale, cluster));
+    }
+    let mut reports = SweepRunner::from_env().run_thunks(thunks).into_iter();
+    let base = wc_secs(&reports.next().expect("baseline"));
+
+    let mut t = Table::new(&["config", "wc slowdown", "tg runtime (s)"]);
+    for (label, _, _) in configs {
+        let r = reports.next().expect("sweep report");
+        let sd = slowdown_pct(wc_secs(&r), base);
         t.row(&[
             label.into(),
             format!("{sd:+.0}%"),

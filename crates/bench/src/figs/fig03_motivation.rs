@@ -4,23 +4,15 @@
 //! slowdowns w.r.t. the standalone runtime; CPU allocation to WordCount is
 //! pinned in all cases.
 
-use crate::experiments::{hdd_cluster, slowdown_pct, ssd_cluster, tg_half, ts_half, tv_half, wc_half};
+use crate::experiments::{
+    hdd_cluster, run_thunk, slowdown_pct, ssd_cluster, tg_half, ts_half, tv_half, wc_half, RunThunk,
+};
 use crate::results::ResultSink;
 use crate::scale::ScaleProfile;
 use crate::table::Table;
 use ibis_cluster::prelude::*;
 
-fn wc_against(
-    cluster: &ClusterConfig,
-    scale: ScaleProfile,
-    contender: Option<ibis_mapreduce::JobSpec>,
-) -> (f64, f64, f64) {
-    let mut exp = Experiment::new(cluster.clone());
-    exp.add_job(wc_half(scale));
-    if let Some(c) = contender {
-        exp.add_job(c);
-    }
-    let r = exp.run();
+fn wc_phases(r: &RunReport) -> (f64, f64, f64) {
     let j = r.job("WordCount").expect("wordcount finished");
     (
         j.runtime.as_secs_f64(),
@@ -34,12 +26,37 @@ pub fn run(scale: ScaleProfile) -> ResultSink {
     let mut sink = ResultSink::new("fig03_motivation", scale.label());
     println!("Fig. 3 — WordCount under contention on native Hadoop ({})\n", scale.label());
 
-    for (setup, cluster) in [
+    let setups = [
         ("HDD", hdd_cluster(Policy::Native)),
         ("SSD", ssd_cluster(Policy::Native)),
-    ] {
+    ];
+
+    // One batch: per setup the standalone baseline plus the three
+    // contended pairs — eight independent simulations.
+    let mut thunks: Vec<RunThunk> = Vec::new();
+    for (_, cluster) in &setups {
+        for contender in [
+            None,
+            Some(tv_half(scale)),
+            Some(tg_half(scale)),
+            Some(ts_half(scale)),
+        ] {
+            let cluster = cluster.clone();
+            thunks.push(run_thunk(move || {
+                let mut exp = Experiment::new(cluster);
+                exp.add_job(wc_half(scale));
+                if let Some(c) = contender {
+                    exp.add_job(c);
+                }
+                exp.run()
+            }));
+        }
+    }
+    let mut reports = SweepRunner::from_env().run_thunks(thunks).into_iter();
+
+    for (setup, _) in setups {
         let mut table = Table::new(&["co-runner", "wc runtime (s)", "map (s)", "reduce (s)", "slowdown"]);
-        let (base, bmap, bred) = wc_against(&cluster, scale, None);
+        let (base, bmap, bred) = wc_phases(&reports.next().expect("baseline report"));
         table.row(&[
             "— (alone)".into(),
             format!("{base:.1}"),
@@ -49,12 +66,8 @@ pub fn run(scale: ScaleProfile) -> ResultSink {
         ]);
         sink.record(&format!("{}_alone_s", setup.to_lowercase()), base);
 
-        for (name, job) in [
-            ("TeraValidate", tv_half(scale)),
-            ("TeraGen", tg_half(scale)),
-            ("TeraSort", ts_half(scale)),
-        ] {
-            let (rt, map, red) = wc_against(&cluster, scale, Some(job));
+        for name in ["TeraValidate", "TeraGen", "TeraSort"] {
+            let (rt, map, red) = wc_phases(&reports.next().expect("contended report"));
             let sd = slowdown_pct(rt, base);
             table.row(&[
                 name.into(),

@@ -4,7 +4,7 @@
 //! loss w.r.t. native. Weights 32:1 in favour of WordCount. Also prints
 //! the §7.2 footnote runs at a 2:1 sharing ratio.
 
-use crate::experiments::{hdd_cluster, sfqd2, slowdown_pct, tg_half, wc_half};
+use crate::experiments::{hdd_cluster, run_thunk, sfqd2, slowdown_pct, tg_half, wc_half, RunThunk};
 use crate::results::ResultSink;
 use crate::scale::ScaleProfile;
 use crate::table::Table;
@@ -16,17 +16,22 @@ struct Outcome {
     wc_p99_latency_ms: f64,
 }
 
-fn contended(policy: Policy, scale: ScaleProfile, wc_weight: f64) -> Outcome {
-    let mut exp = Experiment::new(hdd_cluster(policy));
-    exp.add_job(wc_half(scale).io_weight(wc_weight));
-    exp.add_job(tg_half(scale).io_weight(1.0));
-    let r = exp.run();
+fn outcome(r: &RunReport) -> Outcome {
     let wc_app = r.job("WordCount").expect("wc finished").app;
     Outcome {
         wc_runtime: r.runtime_secs("WordCount").expect("wc finished"),
         total_throughput: r.mean_total_throughput(),
         wc_p99_latency_ms: r.latency_ms(wc_app, 0.99).unwrap_or(0.0),
     }
+}
+
+fn contended(policy: Policy, scale: ScaleProfile, wc_weight: f64) -> RunThunk {
+    run_thunk(move || {
+        let mut exp = Experiment::new(hdd_cluster(policy));
+        exp.add_job(wc_half(scale).io_weight(wc_weight));
+        exp.add_job(tg_half(scale).io_weight(1.0));
+        exp.run()
+    })
 }
 
 /// Runs the figure.
@@ -37,18 +42,33 @@ pub fn run(scale: ScaleProfile) -> ResultSink {
         scale.label()
     );
 
-    // Standalone baseline (same CPU allocation).
-    let mut exp = Experiment::new(hdd_cluster(Policy::Native));
-    exp.add_job(wc_half(scale));
-    let base = exp.run().runtime_secs("WordCount").expect("wc finished");
-    sink.record("wc_alone_s", base);
-
     let configs: Vec<(String, Policy)> = std::iter::once(("Native".to_string(), Policy::Native))
         .chain([12u32, 8, 4, 2].into_iter().map(|d| {
             (format!("SFQ(D={d})"), Policy::SfqD { depth: d })
         }))
         .chain(std::iter::once(("SFQ(D2)".to_string(), sfqd2())))
         .collect();
+
+    // One batch: the standalone baseline (same CPU allocation), the six
+    // contended configs, and the two §7.2 footnote runs at a 2:1 ratio.
+    let mut thunks: Vec<RunThunk> = vec![run_thunk(move || {
+        let mut exp = Experiment::new(hdd_cluster(Policy::Native));
+        exp.add_job(wc_half(scale));
+        exp.run()
+    })];
+    for (_, policy) in &configs {
+        thunks.push(contended(policy.clone(), scale, 32.0));
+    }
+    thunks.push(contended(Policy::SfqD { depth: 2 }, scale, 2.0));
+    thunks.push(contended(sfqd2(), scale, 2.0));
+    let mut reports = SweepRunner::from_env().run_thunks(thunks).into_iter();
+
+    let base = reports
+        .next()
+        .expect("baseline report")
+        .runtime_secs("WordCount")
+        .expect("wc finished");
+    sink.record("wc_alone_s", base);
 
     let mut table = Table::new(&[
         "config",
@@ -68,8 +88,8 @@ pub fn run(scale: ScaleProfile) -> ResultSink {
     ]);
 
     let mut native_thr = 0.0;
-    for (label, policy) in configs {
-        let o = contended(policy, scale, 32.0);
+    for (label, _) in &configs {
+        let o = outcome(&reports.next().expect("contended report"));
         if label == "Native" {
             native_thr = o.total_throughput;
         }
@@ -93,8 +113,8 @@ pub fn run(scale: ScaleProfile) -> ResultSink {
     table.print();
 
     // §7.2 footnote: a 2:1 sharing ratio favours WordCount less.
-    let d2_21 = contended(Policy::SfqD { depth: 2 }, scale, 2.0);
-    let dd_21 = contended(sfqd2(), scale, 2.0);
+    let d2_21 = outcome(&reports.next().expect("2:1 static report"));
+    let dd_21 = outcome(&reports.next().expect("2:1 dynamic report"));
     println!(
         "\n2:1 ratio footnote: SFQ(D=2) {:+.0}%, SFQ(D2) {:+.0}% \
          (paper: +48% and +18%)",

@@ -3,7 +3,7 @@
 //! faster storage does not make the contention problem go away, and
 //! SFQ(D2)'s implicit read promotion can even beat the standalone run.
 
-use crate::experiments::{sfqd2, slowdown_pct, ssd_cluster, tg_half, wc_half};
+use crate::experiments::{run_thunk, sfqd2, slowdown_pct, ssd_cluster, tg_half, wc_half, RunThunk};
 use crate::results::ResultSink;
 use crate::scale::ScaleProfile;
 use crate::table::Table;
@@ -17,9 +17,28 @@ pub fn run(scale: ScaleProfile) -> ResultSink {
         scale.label()
     );
 
-    let mut exp = Experiment::new(ssd_cluster(Policy::Native));
-    exp.add_job(wc_half(scale));
-    let base = exp.run().runtime_secs("WordCount").expect("wc finished");
+    let labels = ["Native", "SFQ(D2)"];
+    // One batch: the standalone baseline plus the two contended runs.
+    let mut thunks: Vec<RunThunk> = vec![run_thunk(move || {
+        let mut exp = Experiment::new(ssd_cluster(Policy::Native));
+        exp.add_job(wc_half(scale));
+        exp.run()
+    })];
+    for policy in [Policy::Native, sfqd2()] {
+        thunks.push(run_thunk(move || {
+            let mut exp = Experiment::new(ssd_cluster(policy));
+            exp.add_job(wc_half(scale).io_weight(32.0));
+            exp.add_job(tg_half(scale).io_weight(1.0));
+            exp.run()
+        }));
+    }
+    let mut reports = SweepRunner::from_env().run_thunks(thunks).into_iter();
+
+    let base = reports
+        .next()
+        .expect("baseline report")
+        .runtime_secs("WordCount")
+        .expect("wc finished");
     sink.record("wc_alone_s", base);
 
     let mut table = Table::new(&[
@@ -36,11 +55,8 @@ pub fn run(scale: ScaleProfile) -> ResultSink {
     ]);
 
     let mut native_thr = 0.0;
-    for (label, policy) in [("Native", Policy::Native), ("SFQ(D2)", sfqd2())] {
-        let mut exp = Experiment::new(ssd_cluster(policy));
-        exp.add_job(wc_half(scale).io_weight(32.0));
-        exp.add_job(tg_half(scale).io_weight(1.0));
-        let r = exp.run();
+    for label in labels {
+        let r = reports.next().expect("contended report");
         let rt = r.runtime_secs("WordCount").expect("wc finished");
         let thr = r.mean_total_throughput();
         if label == "Native" {

@@ -63,9 +63,20 @@ pub fn run(scale: ScaleProfile) -> ResultSink {
     );
     let _ = volumes::TERAGEN;
 
-    let mut standalone = run_case(scale, Policy::Native, false, true);
-    let mut interfered = run_case(scale, Policy::Native, true, false);
-    let mut isolated = run_case(scale, sfqd2(), true, false);
+    // The three cases are independent simulations: fan them out.
+    let cases = vec![
+        (Policy::Native, false, true),
+        (Policy::Native, true, false),
+        (sfqd2(), true, false),
+    ];
+    let mut cdfs = SweepRunner::from_env()
+        .map(cases, |_, (policy, with_tg, half)| {
+            run_case(scale, policy, with_tg, half)
+        })
+        .into_iter();
+    let mut standalone = cdfs.next().expect("standalone case");
+    let mut interfered = cdfs.next().expect("interfered case");
+    let mut isolated = cdfs.next().expect("isolated case");
 
     let mut table = Table::new(&["percentile", "Standalone (s)", "Interfered (s)", "SFQ(D2) (s)"]);
     for q in [0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {

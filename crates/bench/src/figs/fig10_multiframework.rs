@@ -6,7 +6,7 @@
 //! (a) relative performance of each query w.r.t. its standalone runtime;
 //! (b) the average relative performance of the query/TeraSort pair.
 
-use crate::experiments::{hdd_cluster, relative_perf, sfqd2, ts_half, volumes};
+use crate::experiments::{hdd_cluster, relative_perf, run_thunk, sfqd2, ts_half, volumes, RunThunk};
 use crate::results::ResultSink;
 use crate::scale::ScaleProfile;
 use crate::table::Table;
@@ -25,40 +25,24 @@ fn scaled_query(q: HiveQuery, scale: ScaleProfile) -> HiveQuery {
     q
 }
 
-struct PairOutcome {
-    query_runtime: f64,
-    ts_runtime: f64,
-}
-
 /// Runs the query (workload 1, AppIds from 1) against TeraSort (workload
 /// 2; because stages chain after TeraSort's submission, TeraSort is always
 /// the second JobId ⇒ AppId(2) — relied on by the throttle caps).
-fn contended(query: &HiveQuery, scale: ScaleProfile, policy: Policy) -> PairOutcome {
-    let mut exp = Experiment::new(hdd_cluster(policy));
-    exp.add_query(query.clone().with_io_weight(100.0).with_max_slots(48));
-    exp.add_job(ts_half(scale).io_weight(1.0));
-    let r = exp.run();
-    PairOutcome {
-        query_runtime: r
-            .query(&query.name)
-            .expect("query finished")
-            .runtime
-            .as_secs_f64(),
-        ts_runtime: r.runtime_secs("TeraSort").expect("terasort finished"),
-    }
+fn contended(query: HiveQuery, scale: ScaleProfile, policy: Policy) -> RunThunk {
+    run_thunk(move || {
+        let mut exp = Experiment::new(hdd_cluster(policy));
+        exp.add_query(query.with_io_weight(100.0).with_max_slots(48));
+        exp.add_job(ts_half(scale).io_weight(1.0));
+        exp.run()
+    })
 }
 
-fn standalone_query(query: &HiveQuery, _scale: ScaleProfile) -> f64 {
-    let mut exp = Experiment::new(hdd_cluster(Policy::Native));
-    exp.add_query(query.clone().with_max_slots(48));
-    let r = exp.run();
-    r.query(&query.name).expect("query finished").runtime.as_secs_f64()
-}
-
-fn standalone_ts(scale: ScaleProfile) -> f64 {
-    let mut exp = Experiment::new(hdd_cluster(Policy::Native));
-    exp.add_job(ts_half(scale));
-    exp.run().runtime_secs("TeraSort").expect("ts finished")
+fn standalone_query(query: HiveQuery) -> RunThunk {
+    run_thunk(move || {
+        let mut exp = Experiment::new(hdd_cluster(Policy::Native));
+        exp.add_query(query.with_max_slots(48));
+        exp.run()
+    })
 }
 
 /// TeraSort is the second submitted workload ⇒ AppId(2); see `contended`.
@@ -72,9 +56,6 @@ pub fn run(scale: ScaleProfile) -> ResultSink {
         scale.label()
     );
     let _ = volumes::TERASORT;
-
-    let ts_base = standalone_ts(scale);
-    sink.record("ts_alone_s", ts_base);
 
     let configs: Vec<(&str, Policy)> = vec![
         ("Native", Policy::Native),
@@ -91,9 +72,41 @@ pub fn run(scale: ScaleProfile) -> ResultSink {
         ("IBIS-100:1", sfqd2()),
     ];
 
-    for (qname, query) in [("Q21", tpch_q21()), ("Q9", tpch_q9())] {
-        let query = scaled_query(query, scale);
-        let q_base = standalone_query(&query, scale);
+    let queries = [
+        ("Q21", scaled_query(tpch_q21(), scale)),
+        ("Q9", scaled_query(tpch_q9(), scale)),
+    ];
+
+    // One batch: the TeraSort standalone, then per query its standalone
+    // plus the four contended configurations — eleven simulations.
+    let mut thunks: Vec<RunThunk> = vec![run_thunk(move || {
+        let mut exp = Experiment::new(hdd_cluster(Policy::Native));
+        exp.add_job(ts_half(scale));
+        exp.run()
+    })];
+    for (_, query) in &queries {
+        thunks.push(standalone_query(query.clone()));
+        for (_, policy) in &configs {
+            thunks.push(contended(query.clone(), scale, policy.clone()));
+        }
+    }
+    let mut reports = SweepRunner::from_env().run_thunks(thunks).into_iter();
+
+    let ts_base = reports
+        .next()
+        .expect("ts standalone report")
+        .runtime_secs("TeraSort")
+        .expect("ts finished");
+    sink.record("ts_alone_s", ts_base);
+
+    for (qname, query) in &queries {
+        let q_base = reports
+            .next()
+            .expect("query standalone report")
+            .query(&query.name)
+            .expect("query finished")
+            .runtime
+            .as_secs_f64();
         sink.record(&format!("{}_alone_s", qname.to_lowercase()), q_base);
         println!("{qname} (standalone {q_base:.0}s, TeraSort standalone {ts_base:.0}s):");
 
@@ -103,10 +116,16 @@ pub fn run(scale: ScaleProfile) -> ResultSink {
             "TeraSort rel. perf",
             "pair average",
         ]);
-        for (label, policy) in &configs {
-            let o = contended(&query, scale, policy.clone());
-            let qr = relative_perf(o.query_runtime, q_base);
-            let tr = relative_perf(o.ts_runtime, ts_base);
+        for (label, _) in &configs {
+            let r = reports.next().expect("contended report");
+            let qr = relative_perf(
+                r.query(&query.name).expect("query finished").runtime.as_secs_f64(),
+                q_base,
+            );
+            let tr = relative_perf(
+                r.runtime_secs("TeraSort").expect("terasort finished"),
+                ts_base,
+            );
             table.row(&[
                 (*label).into(),
                 format!("{qr:.2}"),

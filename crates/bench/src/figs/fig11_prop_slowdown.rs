@@ -9,47 +9,29 @@
 //! the best equal-slowdown configuration of each (ranked by slowdown gap,
 //! then by average slowdown).
 
-use crate::experiments::{hdd_cluster, sfqd2, slowdown_pct, volumes};
+use crate::experiments::{hdd_cluster, run_thunk, sfqd2, slowdown_pct, volumes, RunThunk};
 use crate::results::ResultSink;
 use crate::scale::ScaleProfile;
 use crate::table::Table;
 use ibis_cluster::prelude::*;
 use ibis_workloads::{teragen, terasort};
 
-fn standalone(scale: ScaleProfile) -> (f64, f64) {
-    let mut exp = Experiment::new(hdd_cluster(Policy::Native));
-    exp.add_job(terasort(scale.bytes(volumes::TERASORT)));
-    let ts = exp.run().runtime_secs("TeraSort").expect("ts");
-    let mut exp = Experiment::new(hdd_cluster(Policy::Native));
-    exp.add_job(teragen(scale.bytes(volumes::TERAGEN)));
-    let tg = exp.run().runtime_secs("TeraGen").expect("tg");
-    (ts, tg)
-}
-
-/// One contended run; returns (TS slowdown %, TG slowdown %).
-fn contended(
-    scale: ScaleProfile,
-    policy: Policy,
-    cpu_ratio: f64,
-    io_ratio: f64,
-    base: (f64, f64),
-) -> (f64, f64) {
-    let mut exp = Experiment::new(hdd_cluster(policy));
-    exp.add_job(
-        terasort(scale.bytes(volumes::TERASORT))
-            .cpu_weight(cpu_ratio)
-            .io_weight(io_ratio),
-    );
-    exp.add_job(
-        teragen(scale.bytes(volumes::TERAGEN))
-            .cpu_weight(1.0)
-            .io_weight(1.0),
-    );
-    let r = exp.run();
-    (
-        slowdown_pct(r.runtime_secs("TeraSort").expect("ts"), base.0),
-        slowdown_pct(r.runtime_secs("TeraGen").expect("tg"), base.1),
-    )
+/// One contended run at the given CPU and I/O ratios (TeraSort : TeraGen).
+fn contended(scale: ScaleProfile, policy: Policy, cpu_ratio: f64, io_ratio: f64) -> RunThunk {
+    run_thunk(move || {
+        let mut exp = Experiment::new(hdd_cluster(policy));
+        exp.add_job(
+            terasort(scale.bytes(volumes::TERASORT))
+                .cpu_weight(cpu_ratio)
+                .io_weight(io_ratio),
+        );
+        exp.add_job(
+            teragen(scale.bytes(volumes::TERAGEN))
+                .cpu_weight(1.0)
+                .io_weight(1.0),
+        );
+        exp.run()
+    })
 }
 
 /// The paper's selection criterion: closest to equal slowdown; average
@@ -60,6 +42,10 @@ fn better(a: (f64, f64), b: (f64, f64)) -> bool {
     (gap(a), avg(a)) < (gap(b), avg(b))
 }
 
+const FS_SWEEP: [f64; 5] = [1.0, 2.0, 3.0, 5.0, 8.0];
+const IBIS_FS_SWEEP: [f64; 3] = [1.0, 2.0, 3.0];
+const IBIS_IO_SWEEP: [f64; 4] = [1.0, 2.0, 4.0, 8.0];
+
 /// Runs the figure.
 pub fn run(scale: ScaleProfile) -> ResultSink {
     let mut sink = ResultSink::new("fig11_prop_slowdown", scale.label());
@@ -68,15 +54,58 @@ pub fn run(scale: ScaleProfile) -> ResultSink {
         scale.label()
     );
 
-    let base = standalone(scale);
+    // One batch: both standalone baselines, the five FS-only CPU ratios,
+    // and the 3×4 (CPU, I/O) IBIS grid — nineteen simulations.
+    let mut thunks: Vec<RunThunk> = vec![
+        run_thunk(move || {
+            let mut exp = Experiment::new(hdd_cluster(Policy::Native));
+            exp.add_job(terasort(scale.bytes(volumes::TERASORT)));
+            exp.run()
+        }),
+        run_thunk(move || {
+            let mut exp = Experiment::new(hdd_cluster(Policy::Native));
+            exp.add_job(teragen(scale.bytes(volumes::TERAGEN)));
+            exp.run()
+        }),
+    ];
+    for fs in FS_SWEEP {
+        thunks.push(contended(scale, Policy::Native, fs, 1.0));
+    }
+    for fs in IBIS_FS_SWEEP {
+        for io in IBIS_IO_SWEEP {
+            thunks.push(contended(scale, sfqd2(), fs, io));
+        }
+    }
+    let mut reports = SweepRunner::from_env().run_thunks(thunks).into_iter();
+
+    let base = (
+        reports
+            .next()
+            .expect("ts standalone")
+            .runtime_secs("TeraSort")
+            .expect("ts"),
+        reports
+            .next()
+            .expect("tg standalone")
+            .runtime_secs("TeraGen")
+            .expect("tg"),
+    );
     sink.record("ts_alone_s", base.0);
     sink.record("tg_alone_s", base.1);
+
+    let mut slowdowns = move || {
+        let r = reports.next().expect("contended report");
+        (
+            slowdown_pct(r.runtime_secs("TeraSort").expect("ts"), base.0),
+            slowdown_pct(r.runtime_secs("TeraGen").expect("tg"), base.1),
+        )
+    };
 
     // Sweep 1: Fair Scheduler CPU ratio only (Native I/O).
     let mut fs_table = Table::new(&["FS ratio", "TS slowdown", "TG slowdown", "gap"]);
     let mut best_fs: Option<(f64, (f64, f64))> = None;
-    for fs in [1.0, 2.0, 3.0, 5.0, 8.0] {
-        let sd = contended(scale, Policy::Native, fs, 1.0, base);
+    for fs in FS_SWEEP {
+        let sd = slowdowns();
         fs_table.row(&[
             format!("{fs:.0}:1"),
             format!("{:+.0}%", sd.0),
@@ -93,9 +122,9 @@ pub fn run(scale: ScaleProfile) -> ResultSink {
     // Sweep 2: FS + IBIS, tuning CPU and I/O ratios together.
     let mut ibis_table = Table::new(&["FS", "IBIS", "TS slowdown", "TG slowdown", "gap"]);
     let mut best_ibis: Option<((f64, f64), (f64, f64))> = None;
-    for fs in [1.0, 2.0, 3.0] {
-        for io in [1.0, 2.0, 4.0, 8.0] {
-            let sd = contended(scale, sfqd2(), fs, io, base);
+    for fs in IBIS_FS_SWEEP {
+        for io in IBIS_IO_SWEEP {
+            let sd = slowdowns();
             ibis_table.row(&[
                 format!("{fs:.0}:1"),
                 format!("{io:.0}:1"),

@@ -8,7 +8,7 @@
 //! under which purely local sharing ratios fail to produce the intended
 //! *total*-service ratio.
 
-use crate::experiments::{hdd_cluster, sfqd2, slowdown_pct, volumes};
+use crate::experiments::{hdd_cluster, run_thunk, sfqd2, slowdown_pct, volumes, RunThunk};
 use crate::results::ResultSink;
 use crate::scale::ScaleProfile;
 use crate::table::Table;
@@ -32,14 +32,19 @@ fn cluster(scale: ScaleProfile, sync: bool) -> ClusterConfig {
     c
 }
 
-fn standalone(scale: ScaleProfile, sync: bool) -> (f64, f64) {
-    let mut exp = Experiment::new(cluster(scale, sync));
-    exp.add_job(ts_spec(scale));
-    let ts = exp.run().runtime_secs("TeraSort").expect("ts");
-    let mut exp = Experiment::new(cluster(scale, sync));
-    exp.add_job(teragen(scale.bytes(volumes::TERAGEN)));
-    let tg = exp.run().runtime_secs("TeraGen").expect("tg");
-    (ts, tg)
+fn standalone_thunks(scale: ScaleProfile, sync: bool) -> [RunThunk; 2] {
+    [
+        run_thunk(move || {
+            let mut exp = Experiment::new(cluster(scale, sync));
+            exp.add_job(ts_spec(scale));
+            exp.run()
+        }),
+        run_thunk(move || {
+            let mut exp = Experiment::new(cluster(scale, sync));
+            exp.add_job(teragen(scale.bytes(volumes::TERAGEN)));
+            exp.run()
+        }),
+    ]
 }
 
 fn ts_io_weight() -> f64 {
@@ -58,24 +63,18 @@ fn ts_spec(scale: ScaleProfile) -> ibis_mapreduce::JobSpec {
     s
 }
 
-fn contended(scale: ScaleProfile, sync: bool) -> (f64, f64, u64) {
-    let mut exp = Experiment::new(cluster(scale, sync));
-    exp.add_job(
-        ts_spec(scale)
-            .cpu_weight(1.0)
-            .io_weight(ts_io_weight()),
-    );
-    exp.add_job(
-        teragen(scale.bytes(volumes::TERAGEN))
-            .cpu_weight(1.0)
-            .io_weight(1.0),
-    );
-    let r = exp.run();
-    (
-        r.runtime_secs("TeraSort").expect("ts"),
-        r.runtime_secs("TeraGen").expect("tg"),
-        r.broker.reports,
-    )
+fn contended(scale: ScaleProfile, sync: bool) -> RunThunk {
+    let ts_weight = ts_io_weight();
+    run_thunk(move || {
+        let mut exp = Experiment::new(cluster(scale, sync));
+        exp.add_job(ts_spec(scale).cpu_weight(1.0).io_weight(ts_weight));
+        exp.add_job(
+            teragen(scale.bytes(volumes::TERAGEN))
+                .cpu_weight(1.0)
+                .io_weight(1.0),
+        );
+        exp.run()
+    })
 }
 
 /// Runs the figure.
@@ -87,7 +86,22 @@ pub fn run(scale: ScaleProfile) -> ResultSink {
         scale.label()
     );
 
-    let (ts_base, tg_base) = standalone(scale, false);
+    // One batch: the two standalone baselines plus both contended runs.
+    let mut thunks: Vec<RunThunk> = standalone_thunks(scale, false).into();
+    thunks.push(contended(scale, false));
+    thunks.push(contended(scale, true));
+    let mut reports = SweepRunner::from_env().run_thunks(thunks).into_iter();
+
+    let ts_base = reports
+        .next()
+        .expect("ts standalone")
+        .runtime_secs("TeraSort")
+        .expect("ts");
+    let tg_base = reports
+        .next()
+        .expect("tg standalone")
+        .runtime_secs("TeraGen")
+        .expect("tg");
     sink.record("ts_alone_s", ts_base);
     sink.record("tg_alone_s", tg_base);
 
@@ -98,8 +112,13 @@ pub fn run(scale: ScaleProfile) -> ResultSink {
         "average",
         "broker msgs",
     ]);
-    for (label, sync) in [("No Sync", false), ("Sync", true)] {
-        let (ts, tg, msgs) = contended(scale, sync);
+    for (label, _sync) in [("No Sync", false), ("Sync", true)] {
+        let r = reports.next().expect("contended report");
+        let (ts, tg, msgs) = (
+            r.runtime_secs("TeraSort").expect("ts"),
+            r.runtime_secs("TeraGen").expect("tg"),
+            r.broker.reports,
+        );
         let ts_sd = slowdown_pct(ts, ts_base);
         let tg_sd = slowdown_pct(tg, tg_base);
         table.row(&[

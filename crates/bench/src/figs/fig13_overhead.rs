@@ -12,11 +12,13 @@ use crate::table::Table;
 use ibis_cluster::prelude::*;
 use ibis_workloads::{teragen, terasort, wordcount};
 
-fn run_alone(spec: ibis_mapreduce::JobSpec, policy: Policy) -> f64 {
-    let name = spec.name.clone();
-    let mut exp = Experiment::new(hdd_cluster(policy));
-    exp.add_job(spec);
-    exp.run().runtime_secs(&name).expect("job finished")
+fn run_alone(specs: Vec<(ibis_mapreduce::JobSpec, Policy)>) -> Vec<f64> {
+    SweepRunner::from_env().map(specs, |_, (spec, policy)| {
+        let name = spec.name.clone();
+        let mut exp = Experiment::new(hdd_cluster(policy));
+        exp.add_job(spec);
+        exp.run().runtime_secs(&name).expect("job finished")
+    })
 }
 
 /// Runs the figure.
@@ -27,14 +29,25 @@ pub fn run(scale: ScaleProfile) -> ResultSink {
         scale.label()
     );
 
-    let mut table = Table::new(&["benchmark", "Native (s)", "IBIS (s)", "overhead"]);
-    for (name, spec) in [
+    let benchmarks = [
         ("WordCount", wordcount(scale.bytes(volumes::WORDCOUNT))),
         ("TeraGen", teragen(scale.bytes(volumes::TERAGEN))),
         ("TeraSort", terasort(scale.bytes(volumes::TERASORT))),
-    ] {
-        let native = run_alone(spec.clone(), Policy::Native);
-        let ibis = run_alone(spec, sfqd2());
+    ];
+    // One batch: each benchmark under Native and under IBIS — six
+    // independent standalone simulations.
+    let runs: Vec<(ibis_mapreduce::JobSpec, Policy)> = benchmarks
+        .iter()
+        .flat_map(|(_, spec)| {
+            [(spec.clone(), Policy::Native), (spec.clone(), sfqd2())]
+        })
+        .collect();
+    let mut runtimes = run_alone(runs).into_iter();
+
+    let mut table = Table::new(&["benchmark", "Native (s)", "IBIS (s)", "overhead"]);
+    for (name, _) in benchmarks {
+        let native = runtimes.next().expect("native runtime");
+        let ibis = runtimes.next().expect("ibis runtime");
         let overhead = (ibis / native - 1.0) * 100.0;
         table.row(&[
             name.into(),

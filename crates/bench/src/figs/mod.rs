@@ -4,6 +4,38 @@
 //! integration tests exercise downsized versions of every experiment and
 //! lets `all_experiments` drive the complete set.
 
+use crate::results::ResultSink;
+use crate::scale::ScaleProfile;
+
+/// A figure/table entry point: runs at the given scale, returns results.
+pub type FigureFn = fn(ScaleProfile) -> ResultSink;
+
+/// The complete suite in EXPERIMENTS.md order — shared by the
+/// `all_experiments` regeneration bin and the `bench_sweep` timing bin.
+pub fn suite() -> Vec<(&'static str, FigureFn)> {
+    vec![
+        ("tab01", tab01_config::run),
+        ("fig02", fig02_profiles::run),
+        ("fig03", fig03_motivation::run),
+        ("fig06", fig06_isolation_hdd::run),
+        ("fig07", fig07_depth_trace::run),
+        ("fig08", fig08_isolation_ssd::run),
+        ("fig09", fig09_facebook::run),
+        ("fig10", fig10_multiframework::run),
+        ("fig11", fig11_prop_slowdown::run),
+        ("fig12", fig12_coordination::run),
+        ("fig13", fig13_overhead::run),
+        ("tab02", tab02_resources::run),
+        ("tab03", tab03_loc::run),
+        ("ablate_controller", ablations::controller),
+        ("ablate_sync_period", ablations::sync_period),
+        ("ablate_delay_cap", ablations::delay_cap),
+        ("ablate_write_window", ablations::write_window),
+        ("ablate_strict", ablations::strict),
+        ("ablate_network_control", ablations::network_control),
+    ]
+}
+
 pub mod ablations;
 pub mod fig02_profiles;
 pub mod fig03_motivation;

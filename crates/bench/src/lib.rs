@@ -9,6 +9,7 @@
 
 pub mod experiments;
 pub mod figs;
+pub mod json;
 pub mod results;
 pub mod scale;
 pub mod table;

@@ -4,13 +4,13 @@
 //! `results/<experiment>.json` so EXPERIMENTS.md entries can be
 //! regenerated and diffed across runs.
 
-use serde::Serialize;
+use crate::json;
 use std::fs;
 use std::path::PathBuf;
 
 /// Collects named measurements for one experiment and writes them as a
 /// JSON object on drop-free explicit save.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct ResultSink {
     /// Experiment id ("fig06", "tab02", …).
     pub experiment: String,
@@ -65,16 +65,35 @@ impl ResultSink {
             return;
         }
         let path = dir.join(format!("{}.json", self.experiment));
-        match serde_json::to_string_pretty(self) {
-            Ok(json) => {
-                if let Err(e) = fs::write(&path, json) {
-                    eprintln!("warning: cannot write {}: {e}", path.display());
-                } else {
-                    eprintln!("(results saved to {})", path.display());
-                }
-            }
-            Err(e) => eprintln!("warning: serialise results: {e}"),
+        if let Err(e) = fs::write(&path, self.to_json()) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        } else {
+            eprintln!("(results saved to {})", path.display());
         }
+    }
+
+    /// Renders the sink as a pretty-printed JSON object (the on-disk
+    /// format of `results/<experiment>.json`).
+    pub fn to_json(&self) -> String {
+        let mut w = json::Writer::new();
+        w.open_object(None);
+        w.string(Some("experiment"), &self.experiment);
+        w.string(Some("scale"), &self.scale);
+        w.open_array(Some("values"));
+        for (k, v) in &self.values {
+            w.open_array(None);
+            w.string(None, k);
+            w.number(None, *v);
+            w.close();
+        }
+        w.close();
+        w.open_array(Some("notes"));
+        for n in &self.notes {
+            w.string(None, n);
+        }
+        w.close();
+        w.close();
+        w.finish()
     }
 }
 

@@ -117,12 +117,21 @@ enum Cont {
     },
 }
 
+/// Everything the engine must remember about a dispatched I/O until the
+/// device completes it. One map entry per in-flight request (merged
+/// routing + timing state: completion does a single lookup).
+struct InflightIo {
+    app: AppId,
+    kind: IoKind,
+    bytes: u64,
+    dispatched: SimTime,
+}
+
 struct DeviceQueue {
     device: DeviceModel,
     sched: Box<dyn IoScheduler + Send>,
-    /// io id → (app, kind, bytes) for completion routing.
-    inflight: HashMap<u64, (AppId, IoKind, u64)>,
-    dispatch_times: HashMap<u64, SimTime>,
+    /// io id → routing and dispatch-time state for completion.
+    inflight: HashMap<u64, InflightIo>,
 }
 
 struct Node {
@@ -295,13 +304,11 @@ impl Sim {
                             device: cfg.hdfs_device.build(n as u64),
                             sched: build_sched(&cfg.policy, &hdfs_refs, trace),
                             inflight: HashMap::new(),
-                            dispatch_times: HashMap::new(),
                         },
                         DeviceQueue {
                             device: cfg.scratch_device.build(1000 + n as u64),
                             sched: build_sched(&cfg.policy, &scratch_refs, false),
                             inflight: HashMap::new(),
-                            dispatch_times: HashMap::new(),
                         },
                     ],
                     rx: PsLink::new(cfg.nic_bw),
@@ -947,8 +954,15 @@ impl Sim {
         let dq = &mut self.nodes[node as usize].devs[dev];
         let mut started = Vec::new();
         while let Some(req) = dq.sched.pop_dispatch(now) {
-            dq.dispatch_times.insert(req.id, now);
-            dq.inflight.insert(req.id, (req.app, req.kind, req.bytes));
+            dq.inflight.insert(
+                req.id,
+                InflightIo {
+                    app: req.app,
+                    kind: req.kind,
+                    bytes: req.bytes,
+                    dispatched: now,
+                },
+            );
             dq.device.submit(
                 DeviceRequest {
                     id: req.id,
@@ -974,11 +988,15 @@ impl Sim {
 
     fn device_done(&mut self, node: u32, dev: usize, io: u64, now: SimTime) {
         let dq = &mut self.nodes[node as usize].devs[dev];
-        let (app, kind, bytes) = dq
+        let InflightIo {
+            app,
+            kind,
+            bytes,
+            dispatched,
+        } = dq
             .inflight
             .remove(&io)
             .expect("device completion for unknown io");
-        let dispatched = dq.dispatch_times.remove(&io).expect("dispatch time");
         let latency = now - dispatched;
         dq.sched.on_complete(app, kind, bytes, latency, now);
         self.app_latency
@@ -1265,7 +1283,7 @@ impl Sim {
             for dq in &mut node.devs {
                 let stats = dq.sched.stats();
                 sched_decisions += stats.decisions;
-                for (&app, &bytes) in &stats.service {
+                for (app, bytes) in stats.service.iter() {
                     *app_service.entry(app).or_insert(0) += bytes;
                 }
             }

@@ -19,6 +19,9 @@
 //!   broker overhead counters, and device statistics.
 //! * [`autotune`] — the §9 future-work loop: search the I/O-weight knob
 //!   for a target slowdown.
+//! * [`sweep`] — the parallel experiment sweep engine: fans independent
+//!   [`config::Experiment`]s across a scoped thread pool (`IBIS_JOBS`)
+//!   with byte-identical-to-serial results.
 //!
 //! ```
 //! use ibis_cluster::prelude::*;
@@ -37,14 +40,17 @@ pub mod autotune;
 pub mod config;
 pub mod engine;
 pub mod report;
+pub mod sweep;
 
-pub use autotune::{tune_weight, TuneResult};
+pub use autotune::{tune_weight, tune_weight_grid, TuneResult};
 pub use config::{ClusterConfig, DeviceSpec, Experiment, Workload};
 pub use report::{JobSummary, RunReport};
+pub use sweep::SweepRunner;
 
 /// The types most experiment code needs.
 pub mod prelude {
     pub use crate::config::{ClusterConfig, DeviceSpec, Experiment, Workload};
     pub use crate::report::{JobSummary, RunReport};
+    pub use crate::sweep::SweepRunner;
     pub use ibis_core::scheduler::Policy;
 }

@@ -60,7 +60,7 @@ impl IoScheduler for Fifo {
     ) {
         self.outstanding = self.outstanding.saturating_sub(1);
         self.stats.completed += 1;
-        *self.stats.service.entry(app).or_insert(0) += bytes;
+        self.stats.service.add(app, bytes);
     }
 
     fn on_tick(&mut self, _now: SimTime) {}
@@ -175,7 +175,7 @@ impl IoScheduler for CgroupWeight {
         now: SimTime,
     ) {
         self.stats.completed += 1;
-        *self.stats.service.entry(app).or_insert(0) += bytes;
+        self.stats.service.add(app, bytes);
         // The inner scheduler only needs the slot freed; its per-flow
         // service bookkeeping is unused (cgroups do not coordinate).
         self.inner.on_complete(DAEMON_FLOW, kind, bytes, latency, now);
@@ -352,7 +352,7 @@ impl IoScheduler for CgroupThrottle {
     ) {
         self.outstanding = self.outstanding.saturating_sub(1);
         self.stats.completed += 1;
-        *self.stats.service.entry(app).or_insert(0) += bytes;
+        self.stats.service.add(app, bytes);
     }
 
     fn on_tick(&mut self, _now: SimTime) {
@@ -436,7 +436,7 @@ mod tests {
             s.submit(persistent(0, A, 10), SimTime::ZERO);
             let r = s.pop_dispatch(SimTime::ZERO).unwrap();
             s.on_complete(r.app, r.kind, r.bytes, SimDuration::ZERO, SimTime::ZERO);
-            assert_eq!(s.stats().service.get(&A), Some(&10));
+            assert_eq!(s.stats().service.get(A), Some(10));
             assert_eq!(s.outstanding(), 0);
         }
     }
@@ -522,8 +522,8 @@ mod tests {
             while let Some(r) = s.pop_dispatch(SimTime::ZERO) {
                 s.on_complete(r.app, r.kind, r.bytes, SimDuration::ZERO, SimTime::ZERO);
             }
-            assert_eq!(s.stats().service.get(&A), Some(&100));
-            assert_eq!(s.stats().service.get(&B), Some(&200));
+            assert_eq!(s.stats().service.get(A), Some(100));
+            assert_eq!(s.stats().service.get(B), Some(200));
         }
     }
 

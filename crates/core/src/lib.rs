@@ -48,7 +48,7 @@ pub use baselines::{CgroupThrottle, CgroupWeight, Fifo};
 pub use broker::{BrokerStats, SchedulingBroker};
 pub use controller::{ControllerConfig, DepthController};
 pub use request::{AppId, IoClass, IoKind, Request};
-pub use scheduler::{IoScheduler, Policy, SchedStats};
+pub use scheduler::{IoScheduler, Policy, SchedStats, ServiceMap};
 pub use sfq::{SfqConfig, SfqD};
 pub use sfqd2::{SfqD2, SfqD2Config};
 pub use strict::StrictPartition;

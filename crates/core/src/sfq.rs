@@ -25,7 +25,7 @@ use crate::request::{AppId, IoKind, Request};
 use crate::scheduler::{IoScheduler, SchedStats};
 use ibis_simcore::{SimDuration, SimTime};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Configuration for [`SfqD`].
 #[derive(Debug, Clone)]
@@ -77,9 +77,53 @@ impl FlowState {
     }
 }
 
+/// Flow state interned to dense indices: `AppId`s map to slots in a
+/// contiguous `Vec`, so the per-request hot path (tag computation on
+/// submit, backlog bookkeeping on dispatch) indexes an array instead of
+/// hashing. A device queue serves at most a handful of flows, so the
+/// intern lookup is a short linear scan over a `Vec<AppId>` that lives in
+/// one cache line. `AppId(u32::MAX)` (the cgroup daemon flow) precludes
+/// value-indexing, hence the intern table.
+#[derive(Debug, Default)]
+struct FlowTable {
+    ids: Vec<AppId>,
+    flows: Vec<FlowState>,
+}
+
+impl FlowTable {
+    /// The dense index of `app`, if it was ever seen.
+    fn index_of(&self, app: AppId) -> Option<usize> {
+        self.ids.iter().position(|&a| a == app)
+    }
+
+    /// The dense index of `app`, creating weight-1.0 state on first sight.
+    fn intern(&mut self, app: AppId) -> usize {
+        match self.index_of(app) {
+            Some(i) => i,
+            None => {
+                self.ids.push(app);
+                self.flows.push(FlowState::new(1.0));
+                self.ids.len() - 1
+            }
+        }
+    }
+
+    fn get(&self, app: AppId) -> Option<&FlowState> {
+        self.index_of(app).map(|i| &self.flows[i])
+    }
+
+    /// Iterates `(app, flow)` pairs in intern order.
+    fn iter_mut(&mut self) -> impl Iterator<Item = (AppId, &mut FlowState)> {
+        self.ids.iter().copied().zip(self.flows.iter_mut())
+    }
+}
+
 struct HeapEntry {
     start: f64,
     seq: u64,
+    /// Dense [`FlowTable`] index of `req.app`, so dispatch updates the
+    /// flow without re-resolving the id.
+    flow: u32,
     req: Request,
 }
 
@@ -107,7 +151,7 @@ impl PartialOrd for HeapEntry {
 /// The SFQ(D) scheduler. See the module docs for the algorithm.
 pub struct SfqD {
     cfg: SfqConfig,
-    flows: HashMap<AppId, FlowState>,
+    flows: FlowTable,
     queue: BinaryHeap<HeapEntry>,
     /// Virtual time: start tag of the most recently dispatched request.
     vtime: f64,
@@ -122,7 +166,7 @@ impl SfqD {
         assert!(cfg.depth >= 1, "SFQ(D) needs D >= 1");
         SfqD {
             cfg,
-            flows: HashMap::new(),
+            flows: FlowTable::default(),
             queue: BinaryHeap::new(),
             vtime: 0.0,
             outstanding: 0,
@@ -145,7 +189,7 @@ impl SfqD {
 
     /// Number of queued requests belonging to `app`.
     pub fn backlog(&self, app: AppId) -> usize {
-        self.flows.get(&app).map_or(0, |f| f.backlog)
+        self.flows.get(app).map_or(0, |f| f.backlog)
     }
 
     /// The current virtual time (for tests and invariant checks).
@@ -154,7 +198,8 @@ impl SfqD {
     }
 
     fn flow_mut(&mut self, app: AppId) -> &mut FlowState {
-        self.flows.entry(app).or_insert_with(|| FlowState::new(1.0))
+        let i = self.flows.intern(app);
+        &mut self.flows.flows[i]
     }
 }
 
@@ -170,7 +215,8 @@ impl IoScheduler for SfqD {
         let seq = self.next_seq;
         self.next_seq += 1;
 
-        let flow = self.flow_mut(req.app);
+        let fi = self.flows.intern(req.app);
+        let flow = &mut self.flows.flows[fi];
         // DSFQ: consume the foreign service observed since this flow's
         // previous local arrival.
         let foreign = flow.foreign_total - flow.foreign_consumed;
@@ -184,7 +230,12 @@ impl IoScheduler for SfqD {
         flow.finish_tag = finish;
         flow.backlog += 1;
 
-        self.queue.push(HeapEntry { start, seq, req });
+        self.queue.push(HeapEntry {
+            start,
+            seq,
+            flow: fi as u32,
+            req,
+        });
         self.stats.submitted += 1;
         self.stats.decisions += 1;
     }
@@ -196,9 +247,8 @@ impl IoScheduler for SfqD {
         let entry = self.queue.pop()?;
         self.vtime = self.vtime.max(entry.start);
         self.outstanding += 1;
-        if let Some(flow) = self.flows.get_mut(&entry.req.app) {
-            flow.backlog -= 1;
-        }
+        // O(1): the heap entry carries the dense flow index.
+        self.flows.flows[entry.flow as usize].backlog -= 1;
         self.stats.dispatched += 1;
         self.stats.decisions += 1;
         Some(entry.req)
@@ -216,7 +266,7 @@ impl IoScheduler for SfqD {
         self.outstanding = self.outstanding.saturating_sub(1);
         self.stats.completed += 1;
         self.stats.decisions += 1;
-        *self.stats.service.entry(app).or_insert(0) += bytes;
+        self.stats.service.add(app, bytes);
         let flow = self.flow_mut(app);
         flow.local_service += bytes;
         flow.unreported += bytes;
@@ -237,11 +287,12 @@ impl IoScheduler for SfqD {
     }
 
     fn drain_service_report(&mut self) -> Vec<(AppId, u64)> {
+        // Linear scan over the dense table — no hash iteration.
         let mut report: Vec<(AppId, u64)> = self
             .flows
             .iter_mut()
             .filter(|(_, f)| f.unreported > 0)
-            .map(|(&app, f)| {
+            .map(|(app, f)| {
                 let d = f.unreported;
                 f.unreported = 0;
                 (app, d)
@@ -489,7 +540,7 @@ mod tests {
         s.on_complete(r0.app, r0.kind, r0.bytes, SimDuration::ZERO, SimTime::ZERO);
         // After both arrivals, flow finish tag reflects 500 delay once:
         // S(r0) = 500, F = 600; S(r1) = 600, F = 700.
-        let f = s.flows.get(&A).unwrap();
+        let f = s.flows.get(A).unwrap();
         assert_eq!(f.finish_tag, 700.0);
     }
 
@@ -501,7 +552,7 @@ mod tests {
         });
         s.apply_global_service(&[(A, 10_000)], SimTime::ZERO);
         s.submit(req(0, A, 100), SimTime::ZERO);
-        let f = s.flows.get(&A).unwrap();
+        let f = s.flows.get(A).unwrap();
         // capped: S = 100 (not 10 000), F = 200
         assert_eq!(f.finish_tag, 200.0);
     }
@@ -514,7 +565,7 @@ mod tests {
         s.on_complete(r.app, r.kind, r.bytes, SimDuration::ZERO, SimTime::ZERO);
         // The broker lags: it reports less than we've locally delivered.
         s.apply_global_service(&[(A, 50)], SimTime::ZERO);
-        let f = s.flows.get(&A).unwrap();
+        let f = s.flows.get(A).unwrap();
         assert_eq!(f.foreign_total, 0);
     }
 
@@ -568,7 +619,7 @@ mod tests {
         assert_eq!(st.submitted, 1);
         assert_eq!(st.dispatched, 1);
         assert_eq!(st.completed, 1);
-        assert_eq!(st.service.get(&A), Some(&100));
+        assert_eq!(st.service.get(A), Some(100));
     }
 
     #[test]

@@ -104,7 +104,7 @@ impl IoScheduler for StrictPartition {
         _now: SimTime,
     ) {
         self.stats.completed += 1;
-        *self.stats.service.entry(app).or_insert(0) += bytes;
+        self.stats.service.add(app, bytes);
         if let Some(flow) = self.flows.get_mut(&app) {
             flow.outstanding = flow.outstanding.saturating_sub(1);
         }

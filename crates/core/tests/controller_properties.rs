@@ -21,13 +21,11 @@ proptest! {
             }
             .with_reference(SimDuration::from_millis(ref_ms)),
         );
-        let mut t = 1u64;
-        for chunk in lat_ms.chunks(7) {
+        for (t, chunk) in (1u64..).zip(lat_ms.chunks(7)) {
             for &(is_read, ms) in chunk {
                 c.observe(is_read, SimDuration::from_millis(ms));
             }
             c.maybe_update(SimTime::from_secs(t));
-            t += 1;
             let d = c.depth_f64();
             prop_assert!((1.0..=12.0).contains(&d), "D={d}");
             prop_assert!(c.depth() >= 1 && c.depth() <= 12);

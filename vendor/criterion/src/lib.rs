@@ -1,0 +1,280 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate,
+//! vendored so the workspace's benches build without registry access.
+//!
+//! It implements the surface this repository's benches use —
+//! `criterion_group!`/`criterion_main!`, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Throughput`], and [`Bencher::iter`] — with real
+//! wall-clock measurement (warmup, batch sizing, min-of-samples) but none
+//! of upstream's statistics machinery.
+//!
+//! Every measurement prints one `bench: <id> ... <ns> ns/iter` line, and
+//! when the `IBIS_CRITERION_JSON` environment variable names a file, a
+//! JSON-lines record per benchmark is appended there so harnesses (e.g.
+//! the `BENCH_sweep.json` emitter) can consume results mechanically.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Measures one closure; handed to the bench callbacks.
+pub struct Bencher {
+    ns_per_iter: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`: one warmup call sizes a batch targeting ~5 ms, then
+    /// `sample_size` batches run and the fastest batch wins (least-noise
+    /// estimator, as upstream's lower quartile roughly is).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let first = t0.elapsed().max(Duration::from_nanos(20));
+        let batch = (5_000_000u128 / first.as_nanos().max(1)).clamp(1, 5_000_000) as u64;
+        let mut best = f64::INFINITY;
+        let budget = Instant::now();
+        let mut samples = 0usize;
+        while samples < self.sample_size && budget.elapsed() < Duration::from_millis(400) {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            best = best.min(ns);
+            samples += 1;
+        }
+        self.ns_per_iter = if best.is_finite() {
+            best
+        } else {
+            first.as_nanos() as f64
+        };
+    }
+}
+
+/// Units-of-work annotation for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, `function/parameter` style.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (the group name prefixes it at print time).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepts both `&str` names and [`BenchmarkId`]s.
+pub trait IntoBenchmarkId {
+    /// The `group/...` path component for this benchmark.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, f64, Option<Throughput>)>,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Benches a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name.to_string(), None, 10, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        sample_size: usize,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            sample_size,
+        };
+        f(&mut b);
+        let extra = match throughput {
+            Some(Throughput::Elements(n)) if b.ns_per_iter > 0.0 => {
+                format!(" ({:.1} Melem/s)", n as f64 / b.ns_per_iter * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if b.ns_per_iter > 0.0 => {
+                format!(" ({:.1} MB/s)", n as f64 / b.ns_per_iter * 1e3)
+            }
+            _ => String::new(),
+        };
+        println!("bench: {id} ... {:.1} ns/iter{extra}", b.ns_per_iter);
+        self.results.push((id, b.ns_per_iter, throughput));
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        let Ok(path) = std::env::var("IBIS_CRITERION_JSON") else {
+            return;
+        };
+        let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path)
+        else {
+            eprintln!("warning: cannot open {path} for bench JSON");
+            return;
+        };
+        for (id, ns, throughput) in &self.results {
+            let tp = match throughput {
+                Some(Throughput::Elements(n)) => format!(",\"elements\":{n}"),
+                Some(Throughput::Bytes(n)) => format!(",\"bytes\":{n}"),
+                None => String::new(),
+            };
+            let escaped: String = id
+                .chars()
+                .flat_map(|c| match c {
+                    '"' | '\\' => vec!['\\', c],
+                    c => vec![c],
+                })
+                .collect();
+            let _ = writeln!(file, "{{\"id\":\"{escaped}\",\"ns_per_iter\":{ns:.3}{tp}}}");
+        }
+    }
+}
+
+/// One group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the units-of-work for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets how many timed batches each bench takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benches `f` under `group/name`.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(id, self.throughput, self.sample_size, f);
+        self
+    }
+
+    /// Benches `f(b, input)` under `group/id`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.id);
+        self.criterion
+            .run_one(id, self.throughput, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// Declares a function running each benchmark target in sequence.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main()` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert_eq!(c.results.len(), 2);
+        assert!(c.results.iter().all(|&(_, ns, _)| ns > 0.0));
+        assert_eq!(c.results[0].0, "unit/noop");
+        assert_eq!(c.results[1].0, "unit/with_input/4");
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("8apps").id, "8apps");
+    }
+}

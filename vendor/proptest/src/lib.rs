@@ -1,0 +1,349 @@
+//! A minimal, deterministic, dependency-free stand-in for the `proptest`
+//! crate, vendored so the workspace builds without registry access.
+//!
+//! It implements exactly the surface this repository's property tests
+//! use: the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`,
+//! [`strategy::Strategy`] with `prop_map`, [`strategy::Just`],
+//! `prop_oneof!` with weights, `prop::collection::vec`, `prop::bool::ANY`,
+//! and integer/float range strategies. Generation is uniform-random from
+//! a per-test seeded [`test_runner::TestRng`], so every run explores the
+//! same cases — failures are reproducible by construction (the classic
+//! proptest shrinking machinery is intentionally omitted).
+//!
+//! Case count defaults to 64 and can be overridden with the
+//! `PROPTEST_CASES` environment variable, matching upstream's knob.
+
+/// Deterministic random generation for test cases.
+pub mod test_runner {
+    /// A small SplitMix64 generator; good enough statistical quality for
+    /// test-case generation and fully deterministic.
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// An RNG seeded from the test name and case index, so each test
+        /// explores a stable but distinct stream.
+        pub fn for_case(test_name: &str, case: u64) -> Self {
+            // FNV-1a over the name, mixed with the case index.
+            let mut h = 0xcbf29ce484222325u64;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng(h ^ case.wrapping_mul(0x9e3779b97f4a7c15))
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, n)`; returns 0 when `n == 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            if n == 0 {
+                0
+            } else {
+                self.next_u64() % n
+            }
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Cases per property (`PROPTEST_CASES`, default 64).
+    pub fn case_count() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64)
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Generates values of `Self::Value` from an RNG. The subset of
+    /// upstream's trait that the tests rely on.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (needed by weighted `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng: &mut TestRng| self.generate(rng)))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted choice between strategies (`prop_oneof!`).
+    pub struct OneOf<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> OneOf<T> {
+        /// Builds from `(weight, strategy)` arms; weights must not all be
+        /// zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(arms.iter().any(|&(w, _)| w > 0), "prop_oneof: zero total weight");
+            OneOf { arms }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.arms.iter().map(|&(w, _)| w as u64).sum();
+            let mut pick = rng.below(total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! uint_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end as u64 - self.start as u64;
+                    (self.start as u64 + rng.below(span)) as $t
+                }
+            }
+        )*};
+    }
+    uint_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident $idx:tt),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, `prop::bool::ANY`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use std::ops::Range;
+
+        /// A strategy for `Vec`s with lengths drawn from `size`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: Range<usize>,
+        }
+
+        /// `vec(element_strategy, len_range)` as in upstream proptest.
+        pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let span = (self.size.end - self.size.start) as u64;
+                let len = self.size.start + rng.below(span) as usize;
+                (0..len).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Uniform boolean strategy.
+        pub struct BoolAny;
+
+        /// `prop::bool::ANY` — a fair coin.
+        pub const ANY: BoolAny = BoolAny;
+
+        impl Strategy for BoolAny {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Each generated test runs `case_count()` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = $crate::test_runner::case_count();
+                for __case in 0..__cases {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), __case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Weighted strategy choice: `prop_oneof![3 => s1, 2 => s2]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Assertion inside a property (plain `assert!` here — no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let v = (3u32..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (-2.0f64..3.5).generate(&mut rng);
+            assert!((-2.0..3.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn oneof_respects_zero_weight_arms() {
+        let s = prop_oneof![1 => Just(1u32), 0 => Just(2u32)];
+        let mut rng = TestRng::for_case("oneof", 0);
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut a = TestRng::for_case("same", 7);
+        let mut b = TestRng::for_case("same", 7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(x in 0u64..10, v in prop::collection::vec(0u8..3, 0..5)) {
+            prop_assert!(x < 10);
+            prop_assert!(v.len() < 5);
+            for b in v {
+                prop_assert!(b < 3);
+            }
+        }
+    }
+}
