@@ -7,44 +7,55 @@
 //!   the sweep pool; results are byte-identical at any width.
 //! * A named subset runs only those entries: `all_experiments fig06
 //!   fig12`. Unknown names abort with the list of valid ones.
+//! * `all_experiments --list` prints every subset name with its title
+//!   and exits.
 
-use ibis_bench::figs::{suite, FigureFn};
+use ibis_bench::figs::{suite, SuiteEntry};
 use ibis_bench::ScaleProfile;
 
 fn main() {
     let scale = ScaleProfile::from_env();
     let all = suite();
 
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list" || a == "-l") {
+        let width = all.iter().map(|e| e.name.len()).max().unwrap_or(0);
+        for e in &all {
+            println!("{:width$}  {}", e.name, e.title);
+        }
+        return;
+    }
+
     // Optional named subset: `all_experiments fig06 fig12` runs only
     // those entries, in suite order.
-    let args: Vec<String> = std::env::args().skip(1).collect();
     let unknown: Vec<&str> = args
         .iter()
         .map(String::as_str)
-        .filter(|a| !all.iter().any(|(name, _)| name == a))
+        .filter(|a| !all.iter().any(|e| e.name == *a))
         .collect();
     if !unknown.is_empty() {
         eprintln!("unknown experiment name(s): {}", unknown.join(", "));
         eprintln!(
-            "valid names: {}",
-            all.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" ")
+            "valid names (see --list): {}",
+            all.iter().map(|e| e.name).collect::<Vec<_>>().join(" ")
         );
         std::process::exit(2);
     }
-    let runs: Vec<(&str, FigureFn)> = if args.is_empty() {
+    let runs: Vec<SuiteEntry> = if args.is_empty() {
         all
     } else {
         all.into_iter()
-            .filter(|(name, _)| args.iter().any(|a| a == name))
+            .filter(|e| args.iter().any(|a| a == e.name))
             .collect()
     };
 
     let t0 = std::time::Instant::now();
     let count = runs.len();
-    for (name, f) in runs {
+    for e in runs {
+        let name = e.name;
         println!("\n================ {name} ================\n");
         let t = std::time::Instant::now();
-        let sink = f(scale);
+        let sink = (e.run)(scale);
         sink.save();
         println!("[{name} done in {:.1}s]", t.elapsed().as_secs_f64());
     }

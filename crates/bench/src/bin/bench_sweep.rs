@@ -26,10 +26,10 @@ fn time_suite(jobs: usize) -> f64 {
     std::env::set_var("IBIS_JOBS", jobs.to_string());
     let scale = ScaleProfile::from_env();
     let t = Instant::now();
-    for (name, f) in suite() {
-        let sink = f(scale);
+    for e in suite() {
+        let sink = (e.run)(scale);
         black_box(sink); // figure outputs are printed, not saved
-        eprintln!("[bench_sweep jobs={jobs}] {name} done");
+        eprintln!("[bench_sweep jobs={jobs}] {} done", e.name);
     }
     t.elapsed().as_secs_f64()
 }

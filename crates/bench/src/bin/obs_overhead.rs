@@ -1,0 +1,10 @@
+//! Regenerates the flight-recorder overhead table (see DESIGN.md §4).
+//! Scale via IBIS_SCALE={quick,paper}.
+use ibis_bench::figs::obs_overhead;
+use ibis_bench::ScaleProfile;
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    let sink = obs_overhead::run(scale);
+    sink.save();
+}

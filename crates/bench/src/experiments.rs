@@ -79,6 +79,23 @@ pub fn run_thunk(f: impl FnOnce() -> RunReport + Send + 'static) -> RunThunk {
     Box::new(f)
 }
 
+/// Audits a run's flight recording, when one was captured (`IBIS_OBS=1`
+/// or an explicit `ClusterConfig::obs`). Prints the auditor summary and
+/// panics on any invariant violation, so a traced figure run doubles as a
+/// fairness regression check. A no-op for untraced runs.
+pub fn audit_recording(label: &str, r: &RunReport) {
+    let Some(rec) = r.recording.as_ref() else {
+        return;
+    };
+    let mut report = ibis_obs::audit(rec, &ibis_obs::AuditConfig::default());
+    let summary = report.summary();
+    println!("[audit {label}] {summary}");
+    assert!(
+        report.passed(),
+        "{label}: recorded run violates fairness invariants: {summary}"
+    );
+}
+
 /// Percentage slowdown of `runtime` w.r.t. `baseline` (the paper's "107%"
 /// notation: runtime 2.07× baseline → 107).
 pub fn slowdown_pct(runtime: f64, baseline: f64) -> f64 {

@@ -4,7 +4,9 @@
 //! loss w.r.t. native. Weights 32:1 in favour of WordCount. Also prints
 //! the §7.2 footnote runs at a 2:1 sharing ratio.
 
-use crate::experiments::{hdd_cluster, run_thunk, sfqd2, slowdown_pct, tg_half, wc_half, RunThunk};
+use crate::experiments::{
+    audit_recording, hdd_cluster, run_thunk, sfqd2, slowdown_pct, tg_half, wc_half, RunThunk,
+};
 use crate::results::ResultSink;
 use crate::scale::ScaleProfile;
 use crate::table::Table;
@@ -89,7 +91,9 @@ pub fn run(scale: ScaleProfile) -> ResultSink {
 
     let mut native_thr = 0.0;
     for (label, _) in &configs {
-        let o = outcome(&reports.next().expect("contended report"));
+        let r = reports.next().expect("contended report");
+        audit_recording(label, &r);
+        let o = outcome(&r);
         if label == "Native" {
             native_thr = o.total_throughput;
         }
@@ -113,8 +117,12 @@ pub fn run(scale: ScaleProfile) -> ResultSink {
     table.print();
 
     // §7.2 footnote: a 2:1 sharing ratio favours WordCount less.
-    let d2_21 = outcome(&reports.next().expect("2:1 static report"));
-    let dd_21 = outcome(&reports.next().expect("2:1 dynamic report"));
+    let r = reports.next().expect("2:1 static report");
+    audit_recording("SFQ(D=2) 2:1", &r);
+    let d2_21 = outcome(&r);
+    let r = reports.next().expect("2:1 dynamic report");
+    audit_recording("SFQ(D2) 2:1", &r);
+    let dd_21 = outcome(&r);
     println!(
         "\n2:1 ratio footnote: SFQ(D=2) {:+.0}%, SFQ(D2) {:+.0}% \
          (paper: +48% and +18%)",

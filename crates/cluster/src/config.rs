@@ -139,6 +139,11 @@ pub struct ClusterConfig {
     pub max_sim_time: SimDuration,
     /// Master RNG seed.
     pub seed: u64,
+    /// Flight-recorder configuration (see `ibis-obs`). Defaults to the
+    /// environment (`IBIS_OBS=1` enables recording), so any experiment
+    /// binary can be traced without a config change; disabled it adds one
+    /// branch per emission site and does not perturb results.
+    pub obs: ibis_obs::ObsConfig,
 }
 
 impl Default for ClusterConfig {
@@ -167,6 +172,7 @@ impl Default for ClusterConfig {
             series_bin: SimDuration::from_secs(1),
             max_sim_time: SimDuration::from_secs(48 * 3600),
             seed: 0x1b15,
+            obs: ibis_obs::ObsConfig::from_env(),
         }
     }
 }

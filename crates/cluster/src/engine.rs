@@ -27,6 +27,7 @@ use ibis_core::{AppId, IoClass, IoKind, Request, SchedulingBroker, SfqD2Config};
 use ibis_dfs::{BlockInfo, Namenode, NamenodeConfig, NodeId};
 use ibis_mapreduce::job::JobEvent;
 use ibis_mapreduce::{JobId, JobManager, Step, TaskAssignment, TaskKind};
+use ibis_obs::{EventKind, FlightRecorder, ObsEvent, RecordingMeta};
 use ibis_simcore::metrics::{Histogram, TimeSeries};
 use ibis_simcore::{EventQueue, SimDuration, SimTime};
 use ibis_storage::{
@@ -243,6 +244,12 @@ pub struct Sim {
     reference_ms: Option<[f64; 4]>,
     finished: bool,
     last_event_time: SimTime,
+    /// Flight recorder (None unless `cfg.obs.enabled`). Scheduler-side
+    /// event buffers are drained into it through `obs_scratch` right
+    /// inside the handler that produced them, so per-node ring order is
+    /// true processing order.
+    recorder: Option<FlightRecorder>,
+    obs_scratch: Vec<(SimTime, EventKind)>,
 }
 
 impl Sim {
@@ -293,7 +300,13 @@ impl Sim {
             }
         };
 
-        let nodes: Vec<Node> = (0..cfg.nodes)
+        let mut recorder = if cfg.obs.enabled {
+            Some(FlightRecorder::new(cfg.nodes, cfg.obs.capacity))
+        } else {
+            None
+        };
+
+        let mut nodes: Vec<Node> = (0..cfg.nodes)
             .map(|n| {
                 let trace = cfg.trace_node == Some(n);
                 Node {
@@ -315,6 +328,13 @@ impl Sim {
                 }
             })
             .collect();
+        if recorder.is_some() {
+            for node in &mut nodes {
+                for dq in &mut node.devs {
+                    dq.sched.set_recording(true);
+                }
+            }
+        }
 
         let mut namenode = Namenode::new(NamenodeConfig {
             nodes: cfg.nodes,
@@ -323,6 +343,7 @@ impl Sim {
             placement: cfg.placement.clone(),
             seed: cfg.seed,
         });
+        namenode.set_recording(recorder.is_some());
 
         // Register every referenced input file once.
         let mut seen = std::collections::HashSet::new();
@@ -341,6 +362,24 @@ impl Sim {
                         register(first, &mut namenode);
                     }
                 }
+            }
+        }
+        // Setup-time placements (pre-loaded input files) are stamped at
+        // t=0 on the block's primary node.
+        if let Some(rec) = recorder.as_mut() {
+            let mut placed = Vec::new();
+            namenode.take_placements(&mut placed);
+            for kind in placed {
+                let node = match kind {
+                    EventKind::BlockPlaced { primary, .. } => primary,
+                    _ => 0,
+                };
+                rec.record(ObsEvent {
+                    at: SimTime::ZERO,
+                    node,
+                    dev: DEV_HDFS as u8,
+                    kind,
+                });
             }
         }
 
@@ -397,7 +436,65 @@ impl Sim {
             reference_ms,
             finished: false,
             last_event_time: SimTime::ZERO,
+            recorder,
+            obs_scratch: Vec::new(),
         }
+    }
+
+    /// Moves any events buffered by a device's scheduler into the flight
+    /// recorder, stamping node and device. Called from each handler that
+    /// can make a scheduler emit, so ring order matches processing order.
+    /// Outlined: callers on the dispatch hot path guard on
+    /// `self.recorder.is_some()` so a disabled recorder costs one branch.
+    #[inline(never)]
+    fn drain_sched_obs(&mut self, node: u32, dev: usize) {
+        let Some(rec) = self.recorder.as_mut() else {
+            return;
+        };
+        self.obs_scratch.clear();
+        self.nodes[node as usize].devs[dev]
+            .sched
+            .take_events(&mut self.obs_scratch);
+        for &(at, kind) in &self.obs_scratch {
+            rec.record(ObsEvent {
+                at,
+                node,
+                dev: dev as u8,
+                kind,
+            });
+        }
+    }
+
+    /// Outlined `Completed` emission (see `device_done`): keeps the event
+    /// construction out of the completion hot path when tracing is off.
+    #[expect(clippy::too_many_arguments)]
+    #[inline(never)]
+    fn record_completion(
+        &mut self,
+        node: u32,
+        dev: usize,
+        io: u64,
+        app: AppId,
+        kind: IoKind,
+        bytes: u64,
+        latency: SimDuration,
+        now: SimTime,
+    ) {
+        let Some(rec) = self.recorder.as_mut() else {
+            return;
+        };
+        rec.record(ObsEvent {
+            at: now,
+            node,
+            dev: dev as u8,
+            kind: EventKind::Completed {
+                io,
+                app: app.0,
+                bytes,
+                write: matches!(kind, IoKind::Write),
+                latency_ns: latency.as_nanos(),
+            },
+        });
     }
 
     /// Runs to completion and produces the report.
@@ -873,6 +970,18 @@ impl Sim {
             }
             let info = self.namenode.allocate_block(NodeId(node), self.cfg.block_size);
             self.tasks.get_mut(&slot).expect("t").block = Some((info, 0));
+            if let Some(rec) = self.recorder.as_mut() {
+                let mut placed = Vec::new();
+                self.namenode.take_placements(&mut placed);
+                for kind in placed {
+                    rec.record(ObsEvent {
+                        at: now,
+                        node,
+                        dev: DEV_HDFS as u8,
+                        kind,
+                    });
+                }
+            }
         }
         let replicas = {
             let t = self.tasks.get_mut(&slot).expect("t");
@@ -984,6 +1093,9 @@ impl Sim {
                 },
             );
         }
+        if self.recorder.is_some() {
+            self.drain_sched_obs(node, dev);
+        }
     }
 
     fn device_done(&mut self, node: u32, dev: usize, io: u64, now: SimTime) {
@@ -999,11 +1111,18 @@ impl Sim {
             .expect("device completion for unknown io");
         let latency = now - dispatched;
         dq.sched.on_complete(app, kind, bytes, latency, now);
+        // The engine emits Completed itself: it has the full request
+        // context here and covers every policy, including Native.
+        if self.recorder.is_some() {
+            self.record_completion(node, dev, io, app, kind, bytes, latency, now);
+        }
         self.app_latency
             .entry(app)
             .or_default()
             .record(latency.as_nanos());
         let mut started = Vec::new();
+        // Re-borrow: `record_completion` above needed `&mut self`.
+        let dq = &mut self.nodes[node as usize].devs[dev];
         dq.device.on_complete(io, now, &mut started);
         for s in started {
             self.queue.push(
@@ -1241,6 +1360,7 @@ impl Sim {
                 self.nodes[n].devs[dev]
                     .sched
                     .apply_global_service(&reply, now);
+                self.drain_sched_obs(n as u32, dev);
             }
         }
     }
@@ -1274,6 +1394,27 @@ impl Sim {
                 })
             })
             .collect();
+
+        // Final drain so anything a scheduler buffered after its last
+        // handler-side drain still lands in the recording, then seal it.
+        if self.recorder.is_some() {
+            for n in 0..self.cfg.nodes {
+                for dev in 0..2 {
+                    self.drain_sched_obs(n, dev);
+                }
+            }
+        }
+        let recording = self.recorder.take().map(|rec| {
+            rec.finish(RecordingMeta {
+                weights: self
+                    .job_mgr
+                    .jobs()
+                    .map(|rt| (rt.id.app().0, rt.spec.io_weight))
+                    .collect(),
+                sync_period_ns: self.cfg.sync_period.as_nanos(),
+                nodes: self.cfg.nodes,
+            })
+        });
 
         let mut app_service: HashMap<AppId, u64> = HashMap::new();
         let mut sched_decisions = 0;
@@ -1322,6 +1463,7 @@ impl Sim {
             wall_secs,
             events: self.events,
             reference_latencies_ms: self.reference_ms,
+            recording,
         }
     }
 }
@@ -1421,6 +1563,80 @@ mod tests {
         let r = exp.run();
         let trace = r.depth_trace.expect("trace recorded");
         assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn recording_off_by_default_and_on_when_asked() {
+        let mut exp = Experiment::new(tiny_cluster());
+        exp.add_job(teragen(GIB));
+        assert!(exp.run().recording.is_none());
+
+        let mut cfg = tiny_cluster();
+        cfg.obs = ibis_obs::ObsConfig::enabled(1 << 16);
+        let mut exp = Experiment::new(cfg);
+        exp.add_job(teragen(GIB));
+        let rec = exp.run().recording.expect("recording present");
+        assert!(!rec.is_empty());
+        // TeraGen writes blocks: placements and completions must appear.
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::BlockPlaced { .. })));
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Completed { write: true, .. })));
+        // Events arrive time-sorted from finish().
+        assert!(rec.events().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn recorded_sfqd2_run_passes_fairness_audit() {
+        let mut cfg = tiny_cluster();
+        cfg.policy = Policy::SfqD2(SfqD2Config::default());
+        cfg.coordination = true;
+        cfg.obs = ibis_obs::ObsConfig::enabled(1 << 18);
+        let mut exp = Experiment::new(cfg);
+        exp.add_job(teragen(GIB).io_weight(4.0).max_slots(8));
+        exp.add_job(wordcount(GIB).max_slots(8));
+        let r = exp.run();
+        let rec = r.recording.expect("recording present");
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RequestTagged { .. })));
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Dispatched { .. })));
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::BrokerSync { .. })));
+        let mut report = ibis_obs::audit(&rec, &ibis_obs::AuditConfig::default());
+        assert!(report.passed(), "audit failed: {}", report.summary());
+        assert!(report.dispatches > 0);
+    }
+
+    #[test]
+    fn recording_does_not_perturb_results() {
+        let run = |obs: ibis_obs::ObsConfig| {
+            let mut cfg = tiny_cluster();
+            cfg.policy = Policy::SfqD2(SfqD2Config::default());
+            cfg.coordination = true;
+            cfg.obs = obs;
+            let mut exp = Experiment::new(cfg);
+            exp.add_job(teragen(GIB));
+            exp.add_job(wordcount(GIB));
+            exp.run()
+        };
+        let off = run(ibis_obs::ObsConfig::default());
+        let on = run(ibis_obs::ObsConfig::enabled(1 << 16));
+        assert_eq!(off.events, on.events);
+        assert_eq!(off.makespan, on.makespan);
+        for j in &off.jobs {
+            assert_eq!(Some(j.runtime), on.job(&j.name).map(|x| x.runtime));
+        }
     }
 
     #[test]

@@ -76,6 +76,10 @@ pub struct RunReport {
     /// The SFQ(D2) reference latencies used, if profiling ran
     /// (hdfs-read, hdfs-write, scratch-read, scratch-write) in ms.
     pub reference_latencies_ms: Option<[f64; 4]>,
+    /// The flight-recorder capture, when recording was enabled
+    /// (`ClusterConfig::obs`). Feed it to `ibis_obs::audit` or
+    /// `ibis_obs::chrome::export`.
+    pub recording: Option<ibis_obs::Recording>,
 }
 
 impl RunReport {

@@ -167,6 +167,16 @@ pub trait IoScheduler {
     fn current_depth(&self) -> Option<u32> {
         None
     }
+
+    /// Turns flight-recorder event emission on or off. Schedulers without
+    /// emit sites ignore it (the engine then records only device-level
+    /// completions for them).
+    fn set_recording(&mut self, _on: bool) {}
+
+    /// Moves buffered observability events into `sink` in emission order.
+    /// The engine calls this inside the handler that produced the events
+    /// so the per-node recording preserves true processing order.
+    fn take_events(&mut self, _sink: &mut Vec<(SimTime, ibis_obs::EventKind)>) {}
 }
 
 /// Declarative scheduler choice used by experiment configurations; maps

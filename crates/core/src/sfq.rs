@@ -23,6 +23,7 @@
 
 use crate::request::{AppId, IoKind, Request};
 use crate::scheduler::{IoScheduler, SchedStats};
+use ibis_obs::{EventBuf, EventKind};
 use ibis_simcore::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -158,6 +159,8 @@ pub struct SfqD {
     outstanding: u32,
     next_seq: u64,
     stats: SchedStats,
+    /// Flight-recorder emissions; one branch per site when disabled.
+    obs: EventBuf,
 }
 
 impl SfqD {
@@ -172,6 +175,7 @@ impl SfqD {
             outstanding: 0,
             next_seq: 0,
             stats: SchedStats::default(),
+            obs: EventBuf::new(),
         }
     }
 
@@ -201,6 +205,43 @@ impl SfqD {
         let i = self.flows.intern(app);
         &mut self.flows.flows[i]
     }
+
+    /// The emission buffer, shared with the SFQ(D2) wrapper so controller
+    /// events interleave with scheduling events in true order.
+    pub(crate) fn obs_buf_mut(&mut self) -> &mut EventBuf {
+        &mut self.obs
+    }
+
+    /// Outlined emit paths: event construction stays out of the
+    /// submit/dispatch hot loops, so a disabled recorder costs exactly one
+    /// untaken branch per call site.
+    #[inline(never)]
+    fn obs_submitted(&mut self, now: SimTime, req: &Request, delay: u64, start: f64) {
+        if delay > 0 {
+            self.obs.push(
+                now,
+                EventKind::DelayApplied {
+                    app: req.app.0,
+                    delay,
+                },
+            );
+        }
+        self.obs.push(
+            now,
+            EventKind::RequestTagged {
+                io: req.id,
+                app: req.app.0,
+                bytes: req.bytes,
+                write: !req.kind.is_read(),
+                start_tag: start,
+            },
+        );
+    }
+
+    #[inline(never)]
+    fn obs_dispatched(&mut self, now: SimTime, io: u64, app: u32, start_tag: f64) {
+        self.obs.push(now, EventKind::Dispatched { io, app, start_tag });
+    }
 }
 
 impl IoScheduler for SfqD {
@@ -209,7 +250,7 @@ impl IoScheduler for SfqD {
         self.flow_mut(app).weight = weight;
     }
 
-    fn submit(&mut self, req: Request, _now: SimTime) {
+    fn submit(&mut self, req: Request, now: SimTime) {
         let cap = self.cfg.delay_cap;
         let vtime = self.vtime;
         let seq = self.next_seq;
@@ -230,6 +271,10 @@ impl IoScheduler for SfqD {
         flow.finish_tag = finish;
         flow.backlog += 1;
 
+        if self.obs.enabled() {
+            self.obs_submitted(now, &req, delay, start);
+        }
+
         self.queue.push(HeapEntry {
             start,
             seq,
@@ -240,7 +285,7 @@ impl IoScheduler for SfqD {
         self.stats.decisions += 1;
     }
 
-    fn pop_dispatch(&mut self, _now: SimTime) -> Option<Request> {
+    fn pop_dispatch(&mut self, now: SimTime) -> Option<Request> {
         if self.outstanding >= self.cfg.depth {
             return None;
         }
@@ -251,6 +296,9 @@ impl IoScheduler for SfqD {
         self.flows.flows[entry.flow as usize].backlog -= 1;
         self.stats.dispatched += 1;
         self.stats.decisions += 1;
+        if self.obs.enabled() {
+            self.obs_dispatched(now, entry.req.id, entry.req.app.0, entry.start);
+        }
         Some(entry.req)
     }
 
@@ -303,12 +351,15 @@ impl IoScheduler for SfqD {
         report
     }
 
-    fn apply_global_service(&mut self, totals: &[(AppId, u64)], _now: SimTime) {
+    fn apply_global_service(&mut self, totals: &[(AppId, u64)], now: SimTime) {
         for &(app, total) in totals {
             let flow = self.flow_mut(app);
             let foreign = total.saturating_sub(flow.local_service);
             // Monotone: the broker may be momentarily behind our local view.
             flow.foreign_total = flow.foreign_total.max(foreign);
+            if self.obs.enabled() {
+                self.obs.push(now, EventKind::BrokerSync { app: app.0, total });
+            }
         }
         self.stats.decisions += 1;
     }
@@ -319,6 +370,14 @@ impl IoScheduler for SfqD {
 
     fn current_depth(&self) -> Option<u32> {
         Some(self.cfg.depth)
+    }
+
+    fn set_recording(&mut self, on: bool) {
+        self.obs.set_enabled(on);
+    }
+
+    fn take_events(&mut self, sink: &mut Vec<(SimTime, EventKind)>) {
+        self.obs.drain_into(sink);
     }
 }
 
@@ -620,6 +679,38 @@ mod tests {
         assert_eq!(st.dispatched, 1);
         assert_eq!(st.completed, 1);
         assert_eq!(st.service.get(A), Some(100));
+    }
+
+    #[test]
+    fn recording_captures_lifecycle_in_order() {
+        let mut s = SfqD::new(SfqConfig { depth: 1, ..Default::default() });
+        s.set_recording(true);
+        s.apply_global_service(&[(A, 500)], SimTime::ZERO);
+        s.submit(req(0, A, 100), SimTime::from_secs(1));
+        let r = s.pop_dispatch(SimTime::from_secs(2)).unwrap();
+        s.on_complete(r.app, r.kind, r.bytes, SimDuration::ZERO, SimTime::from_secs(3));
+        let mut out = Vec::new();
+        s.take_events(&mut out);
+        // BrokerSync, DelayApplied (500 foreign), RequestTagged, Dispatched
+        // — in processing order; completions are recorded by the engine.
+        assert_eq!(out.len(), 4);
+        assert!(matches!(out[0].1, EventKind::BrokerSync { app: 1, total: 500 }));
+        assert!(matches!(out[1].1, EventKind::DelayApplied { app: 1, delay: 500 }));
+        assert!(
+            matches!(out[2].1, EventKind::RequestTagged { io: 0, app: 1, bytes: 100, start_tag, .. } if start_tag == 500.0)
+        );
+        assert!(matches!(out[3].1, EventKind::Dispatched { io: 0, app: 1, .. }));
+        assert!(s.drain_service_report() == vec![(A, 100)]);
+    }
+
+    #[test]
+    fn recording_off_buffers_nothing() {
+        let mut s = SfqD::new(SfqConfig::default());
+        s.submit(req(0, A, 100), SimTime::ZERO);
+        let _ = s.pop_dispatch(SimTime::ZERO);
+        let mut out = Vec::new();
+        s.take_events(&mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

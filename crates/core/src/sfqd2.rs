@@ -98,6 +98,9 @@ impl IoScheduler for SfqD2 {
     fn on_tick(&mut self, now: SimTime) {
         if let Some(new_depth) = self.controller.maybe_update(now) {
             self.inner.set_depth(new_depth);
+            self.inner
+                .obs_buf_mut()
+                .push(now, ibis_obs::EventKind::DepthAdjusted { depth: new_depth });
         }
         if self.trace {
             self.depth_trace.record(now, self.controller.depth() as f64);
@@ -145,6 +148,14 @@ impl IoScheduler for SfqD2 {
 
     fn current_depth(&self) -> Option<u32> {
         Some(self.controller.depth())
+    }
+
+    fn set_recording(&mut self, on: bool) {
+        self.inner.set_recording(on);
+    }
+
+    fn take_events(&mut self, sink: &mut Vec<(SimTime, ibis_obs::EventKind)>) {
+        self.inner.take_events(sink);
     }
 }
 

@@ -1,0 +1,104 @@
+//! Property-based tests of the scheduling broker (§5): per-app totals are
+//! monotone, retiring an app frees its state, and a retired app can come
+//! back and accumulate from zero as if newly seen.
+
+use ibis_core::broker::SchedulingBroker;
+use ibis_core::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// One broker interaction: a scheduler report or a job-completion retire.
+#[derive(Debug, Clone)]
+enum Op {
+    Report(Vec<(u8, u32)>),
+    Retire(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => prop::collection::vec((0u8..6, 0u32..1_000_000), 0..4).prop_map(Op::Report),
+        1 => (0u8..6).prop_map(Op::Retire),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn totals_monotone_and_retire_resurrects(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut broker = SchedulingBroker::new();
+        // Reference model: what the totals must be, replayed naively.
+        let mut model: HashMap<AppId, u64> = HashMap::new();
+        let mut last_reply: HashMap<AppId, u64> = HashMap::new();
+
+        for op in &ops {
+            match op {
+                Op::Report(entries) => {
+                    let local: Vec<(AppId, u64)> = entries
+                        .iter()
+                        .map(|&(a, b)| (AppId(a as u32), b as u64))
+                        .collect();
+                    let reply = broker.report(&local);
+
+                    // The reply covers exactly the reported apps, in order.
+                    let reported: Vec<AppId> = local.iter().map(|&(a, _)| a).collect();
+                    let replied: Vec<AppId> = reply.iter().map(|&(a, _)| a).collect();
+                    prop_assert_eq!(&replied, &reported);
+
+                    for &(app, bytes) in &local {
+                        *model.entry(app).or_insert(0) += bytes;
+                    }
+                    for &(app, total) in &reply {
+                        // Replies match the model (resurrection restarts
+                        // from the post-retire report, not stale totals).
+                        prop_assert_eq!(total, model[&app]);
+                        // Monotone per app across replies while live.
+                        if let Some(&prev) = last_reply.get(&app) {
+                            prop_assert!(total >= prev, "total regressed for {app:?}");
+                        }
+                        last_reply.insert(app, total);
+                    }
+                }
+                Op::Retire(a) => {
+                    let app = AppId(*a as u32);
+                    let before = broker.state_bytes();
+                    let was_live = broker.total(app).is_some();
+                    broker.retire(app);
+                    // Retire frees exactly one entry's worth of state.
+                    if was_live {
+                        prop_assert!(broker.state_bytes() < before);
+                    } else {
+                        prop_assert_eq!(broker.state_bytes(), before);
+                    }
+                    prop_assert_eq!(broker.total(app), None);
+                    model.remove(&app);
+                    // A later resurrection starts a fresh monotone series.
+                    last_reply.remove(&app);
+                }
+            }
+            // State is exactly 12 bytes per live app, never more.
+            prop_assert_eq!(broker.state_bytes(), 12 * broker.live_apps() as u64);
+            prop_assert_eq!(broker.live_apps(), model.len());
+        }
+    }
+
+    #[test]
+    fn report_totals_equal_sum_of_reports(
+        per_node in prop::collection::vec(prop::collection::vec((0u8..4, 1u32..100_000), 1..4), 1..20)
+    ) {
+        // Any interleaving of node reports sums to the same totals.
+        let mut broker = SchedulingBroker::new();
+        let mut sums: HashMap<AppId, u64> = HashMap::new();
+        for node_report in &per_node {
+            let local: Vec<(AppId, u64)> = node_report
+                .iter()
+                .map(|&(a, b)| (AppId(a as u32), b as u64))
+                .collect();
+            for &(app, bytes) in &local {
+                *sums.entry(app).or_insert(0) += bytes;
+            }
+            broker.report(&local);
+        }
+        for (&app, &expect) in &sums {
+            prop_assert_eq!(broker.total(app), Some(expect));
+        }
+    }
+}

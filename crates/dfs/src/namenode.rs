@@ -2,6 +2,7 @@
 //! placement policies.
 
 use crate::types::{BlockId, BlockInfo, NodeId};
+use ibis_obs::EventKind;
 use ibis_simcore::rng::SimRng;
 use ibis_simcore::units::HDFS_BLOCK;
 use std::collections::HashMap;
@@ -57,6 +58,10 @@ pub struct Namenode {
     blocks: HashMap<BlockId, BlockInfo>,
     files: HashMap<String, Vec<BlockId>>,
     next_block: u64,
+    /// Flight-recorder placement events. The namenode has no clock, so
+    /// events are buffered untimed and the engine stamps them on drain.
+    obs_enabled: bool,
+    obs: Vec<EventKind>,
 }
 
 impl Namenode {
@@ -75,7 +80,23 @@ impl Namenode {
             blocks: HashMap::new(),
             files: HashMap::new(),
             next_block: 0,
+            obs_enabled: false,
+            obs: Vec::new(),
         }
+    }
+
+    /// Turns placement-event buffering on or off.
+    pub fn set_recording(&mut self, on: bool) {
+        self.obs_enabled = on;
+        if !on {
+            self.obs.clear();
+        }
+    }
+
+    /// Moves buffered [`EventKind::BlockPlaced`] events into `sink` in
+    /// allocation order; the caller stamps time and node.
+    pub fn take_placements(&mut self, sink: &mut Vec<EventKind>) {
+        sink.append(&mut self.obs);
     }
 
     /// The configuration in force.
@@ -125,6 +146,13 @@ impl Namenode {
         let extra = self.effective_replication() - 1;
         let mut replicas = vec![primary];
         replicas.extend(self.pick_secondaries(primary, extra));
+        if self.obs_enabled {
+            self.obs.push(EventKind::BlockPlaced {
+                block: id.0,
+                primary: primary.0,
+                replicas: replicas.len() as u32,
+            });
+        }
         self.blocks.insert(
             id,
             BlockInfo {
@@ -292,6 +320,28 @@ mod tests {
         assert_eq!(n.file_blocks("x"), Some(&blocks[..]));
         assert_eq!(n.file_blocks("missing"), None);
         assert_eq!(n.block_count(), 2);
+    }
+
+    #[test]
+    fn placement_events_recorded_when_enabled() {
+        let mut n = nn(8);
+        n.create_file("quiet", 128 * MIB); // before enabling: not recorded
+        n.set_recording(true);
+        n.create_file("loud", 300 * MIB);
+        n.allocate_block(NodeId(3), 64 * MIB);
+        let mut out = Vec::new();
+        n.take_placements(&mut out);
+        assert_eq!(out.len(), 4); // 3 input blocks + 1 write
+        assert!(matches!(out[3], EventKind::BlockPlaced { primary: 3, replicas: 3, .. }));
+        // Drained exactly once.
+        let mut again = Vec::new();
+        n.take_placements(&mut again);
+        assert!(again.is_empty());
+        // Disabling discards.
+        n.create_file("x", MIB);
+        n.set_recording(false);
+        n.take_placements(&mut again);
+        assert!(again.is_empty());
     }
 
     #[test]

@@ -1,0 +1,534 @@
+//! The fairness auditor: replays a [`Recording`] and checks the paper's
+//! scheduling claims as machine-verifiable invariants.
+//!
+//! Three invariants are audited, per `(node, device)` stream:
+//!
+//! 1. **Start-tag monotonicity** — SFQ dispatches the minimum-start-tag
+//!    queued request and sets the virtual time to it, so the sequence of
+//!    dispatched start tags must be non-decreasing. A regression in the
+//!    tag math or heap ordering shows up here immediately.
+//! 2. **Windowed proportional share** (§4, Fig. 6/11) — within each time
+//!    window, applications that stayed *continuously backlogged* (always
+//!    had at least one queued request) must split the completed bytes of
+//!    the backlogged set in proportion to their weights, within
+//!    [`AuditConfig::share_tolerance`].
+//! 3. **DSFQ delay identity** (§5, Fig. 12) — the cumulative delay the
+//!    DSFQ rule charges a flow can never exceed the foreign service the
+//!    broker reported for it: `Σ delay ≤ max_sync(total − local
+//!    completed)`. Overcharging would mean local arrivals are penalised
+//!    for service that never happened elsewhere.
+//!
+//! Nodes whose ring evicted events ([`Recording::truncated`]) get only the
+//! first check — the other two reconstruct cumulative state and would
+//! false-positive on an incomplete prefix.
+
+use crate::event::{EventKind, ObsEvent};
+use crate::recorder::Recording;
+use ibis_simcore::metrics::Cdf;
+use ibis_simcore::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Auditor tuning knobs.
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Proportional-share window length.
+    pub window: SimDuration,
+    /// Maximum absolute error between an application's byte share and its
+    /// weight share within one window. SFQ(D)'s per-window unfairness is
+    /// bounded by `D` maximum-size requests per flow boundary, so the
+    /// bound loosens with short windows and deep queues.
+    pub share_tolerance: f64,
+    /// Windows whose backlogged set completed fewer bytes than this are
+    /// skipped (too little service for the share to be meaningful).
+    pub min_window_bytes: u64,
+    /// Cap on recorded violations (the counts keep accumulating).
+    pub max_violations: usize,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            window: SimDuration::from_secs(10),
+            share_tolerance: 0.15,
+            min_window_bytes: 128 << 20,
+            max_violations: 20,
+        }
+    }
+}
+
+/// Which invariant a violation breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invariant {
+    /// Dispatched start tags regressed.
+    StartTagMonotone,
+    /// A window's byte shares deviated from the weight shares.
+    ProportionalShare,
+    /// Cumulative DSFQ delay exceeded broker-reported foreign service.
+    DelayIdentity,
+}
+
+impl std::fmt::Display for Invariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Invariant::StartTagMonotone => "start-tag-monotone",
+            Invariant::ProportionalShare => "proportional-share",
+            Invariant::DelayIdentity => "dsfq-delay-identity",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One invariant violation, pinned to its origin.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The broken invariant.
+    pub invariant: Invariant,
+    /// Node of the offending stream.
+    pub node: u32,
+    /// Device index of the offending stream.
+    pub dev: u8,
+    /// When it happened (window end for share violations).
+    pub at: SimTime,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] node{} dev{} at {}: {}",
+            self.invariant, self.node, self.dev, self.at, self.detail
+        )
+    }
+}
+
+/// The auditor's verdict plus the evidence behind it.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Events replayed.
+    pub events: u64,
+    /// Dispatches checked for start-tag monotonicity.
+    pub dispatches: u64,
+    /// Windows in which a proportional-share comparison ran.
+    pub windows_checked: u64,
+    /// DSFQ delay charges checked against broker totals.
+    pub delay_checks: u64,
+    /// Absolute share errors across all checked windows (merged from the
+    /// per-node distributions with [`Cdf::merge`]).
+    pub share_errors: Cdf,
+    /// Nodes skipped for checks 2–3 because their ring evicted events.
+    pub truncated_nodes: Vec<u32>,
+    /// Violations found (capped at [`AuditConfig::max_violations`]).
+    pub violations: Vec<Violation>,
+    /// Total violations observed, including beyond the cap.
+    pub violation_count: u64,
+}
+
+impl AuditReport {
+    /// True when no invariant was violated.
+    pub fn passed(&self) -> bool {
+        self.violation_count == 0
+    }
+
+    /// One-line human summary.
+    pub fn summary(&mut self) -> String {
+        let p99 = self.share_errors.quantile(0.99).unwrap_or(0.0);
+        let max = self.share_errors.quantile(1.0).unwrap_or(0.0);
+        format!(
+            "{}: {} events, {} dispatches monotone-checked, {} windows \
+             (share err p99 {:.3}, max {:.3}), {} delay checks, {} truncated \
+             node(s), {} violation(s)",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.events,
+            self.dispatches,
+            self.windows_checked,
+            p99,
+            max,
+            self.delay_checks,
+            self.truncated_nodes.len(),
+            self.violation_count,
+        )
+    }
+}
+
+/// Per-flow reconstruction state within one `(node, dev)` stream.
+#[derive(Debug, Clone)]
+struct FlowAcc {
+    app: u32,
+    weight: f64,
+    /// Requests tagged but not yet dispatched (the scheduler queue).
+    queued: i64,
+    /// Minimum queue length seen in the current window (sampled at every
+    /// event; queues only change at events, so this is exact).
+    min_queued: i64,
+    /// Completed bytes in the current window.
+    win_bytes: u64,
+    /// Completed bytes, cumulative (mirrors the scheduler's
+    /// `local_service`).
+    completed: u64,
+    /// Cumulative DSFQ delay charged.
+    delays: u64,
+    /// Max over syncs of `total − completed` (mirrors `foreign_total`).
+    foreign_known: u64,
+}
+
+/// Per-`(node, dev)` reconstruction state.
+#[derive(Debug, Clone, Default)]
+struct DevAcc {
+    last_start: f64,
+    flows: Vec<FlowAcc>,
+    /// Index of the last flushed window.
+    window: u64,
+}
+
+impl DevAcc {
+    fn flow(&mut self, app: u32, weight: f64) -> &mut FlowAcc {
+        if let Some(i) = self.flows.iter().position(|f| f.app == app) {
+            return &mut self.flows[i];
+        }
+        self.flows.push(FlowAcc {
+            app,
+            weight,
+            queued: 0,
+            min_queued: 0,
+            win_bytes: 0,
+            completed: 0,
+            delays: 0,
+            foreign_known: 0,
+        });
+        self.flows.last_mut().expect("just pushed")
+    }
+}
+
+struct Auditor<'a> {
+    cfg: &'a AuditConfig,
+    report: AuditReport,
+    /// Share-error samples per node, merged at the end.
+    node_errors: BTreeMap<u32, Cdf>,
+}
+
+impl Auditor<'_> {
+    fn violate(&mut self, invariant: Invariant, node: u32, dev: u8, at: SimTime, detail: String) {
+        self.report.violation_count += 1;
+        if self.report.violations.len() < self.cfg.max_violations {
+            self.report.violations.push(Violation {
+                invariant,
+                node,
+                dev,
+                at,
+                detail,
+            });
+        }
+    }
+
+    /// Closes the current window of `acc`: runs the proportional-share
+    /// comparison over the continuously backlogged set, then resets the
+    /// per-window accumulators.
+    fn flush_window(&mut self, acc: &mut DevAcc, node: u32, dev: u8, window_end: SimTime) {
+        let backlogged: Vec<usize> = (0..acc.flows.len())
+            .filter(|&i| acc.flows[i].min_queued > 0)
+            .collect();
+        if backlogged.len() >= 2 {
+            let total: u64 = backlogged.iter().map(|&i| acc.flows[i].win_bytes).sum();
+            if total >= self.cfg.min_window_bytes {
+                let wsum: f64 = backlogged.iter().map(|&i| acc.flows[i].weight).sum();
+                self.report.windows_checked += 1;
+                for &i in &backlogged {
+                    let f = &acc.flows[i];
+                    let share = f.win_bytes as f64 / total as f64;
+                    let expect = f.weight / wsum;
+                    let err = (share - expect).abs();
+                    self.node_errors.entry(node).or_default().add(err);
+                    if err > self.cfg.share_tolerance {
+                        let (app, weight) = (f.app, f.weight);
+                        self.violate(
+                            Invariant::ProportionalShare,
+                            node,
+                            dev,
+                            window_end,
+                            format!(
+                                "app{app} got share {share:.3} of {total} B, expected \
+                                 {expect:.3} (weight {weight}) — err {err:.3}"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        for f in &mut acc.flows {
+            f.win_bytes = 0;
+            f.min_queued = f.queued;
+        }
+    }
+}
+
+/// Replays `rec` and checks every invariant. See the module docs.
+pub fn audit(rec: &Recording, cfg: &AuditConfig) -> AuditReport {
+    let window_ns = cfg.window.as_nanos().max(1);
+    let mut aud = Auditor {
+        cfg,
+        report: AuditReport {
+            events: rec.len() as u64,
+            ..AuditReport::default()
+        },
+        node_errors: BTreeMap::new(),
+    };
+    for n in 0..rec.meta.nodes {
+        if rec.truncated(n) {
+            aud.report.truncated_nodes.push(n);
+        }
+    }
+
+    let mut streams: BTreeMap<(u32, u8), DevAcc> = BTreeMap::new();
+    for ev in rec.events() {
+        let ObsEvent { at, node, dev, kind } = *ev;
+        let truncated = rec.truncated(node);
+        let mut acc = streams.remove(&(node, dev)).unwrap_or_default();
+
+        // Cross a window boundary: flush state-dependent checks first.
+        // Windows between events carry zero completed bytes, so one flush
+        // of the window the last event lived in covers the whole gap (the
+        // share check skips empty windows via min_window_bytes).
+        let widx = at.as_nanos() / window_ns;
+        if widx > acc.window {
+            if !truncated {
+                let end = SimTime::from_nanos((acc.window + 1) * window_ns);
+                aud.flush_window(&mut acc, node, dev, end);
+            }
+            acc.window = widx;
+        }
+
+        match kind {
+            EventKind::RequestTagged { app, .. } => {
+                let w = rec.meta.weight_of(app);
+                let f = acc.flow(app, w);
+                f.queued += 1;
+            }
+            EventKind::Dispatched { app, start_tag, .. } => {
+                aud.report.dispatches += 1;
+                if start_tag < acc.last_start {
+                    let last = acc.last_start;
+                    aud.violate(
+                        Invariant::StartTagMonotone,
+                        node,
+                        dev,
+                        at,
+                        format!("dispatched start tag {start_tag} after {last}"),
+                    );
+                }
+                acc.last_start = start_tag;
+                let w = rec.meta.weight_of(app);
+                let f = acc.flow(app, w);
+                f.queued -= 1;
+                f.min_queued = f.min_queued.min(f.queued);
+            }
+            EventKind::Completed { app, bytes, .. } => {
+                let w = rec.meta.weight_of(app);
+                let f = acc.flow(app, w);
+                f.win_bytes += bytes;
+                f.completed += bytes;
+            }
+            EventKind::DelayApplied { app, delay } => {
+                if !truncated {
+                    let w = rec.meta.weight_of(app);
+                    let f = acc.flow(app, w);
+                    f.delays += delay;
+                    aud.report.delay_checks += 1;
+                    if f.delays > f.foreign_known {
+                        let (delays, known) = (f.delays, f.foreign_known);
+                        aud.violate(
+                            Invariant::DelayIdentity,
+                            node,
+                            dev,
+                            at,
+                            format!(
+                                "app{app} charged {delays} B of delay, broker only \
+                                 reported {known} B foreign"
+                            ),
+                        );
+                    }
+                }
+            }
+            EventKind::BrokerSync { app, total } => {
+                let w = rec.meta.weight_of(app);
+                let f = acc.flow(app, w);
+                f.foreign_known = f.foreign_known.max(total.saturating_sub(f.completed));
+            }
+            EventKind::DepthAdjusted { .. } | EventKind::BlockPlaced { .. } => {}
+        }
+        streams.insert((node, dev), acc);
+    }
+
+    // Final partial windows are *not* flushed: a cut-off window biases the
+    // share comparison. Merge the per-node error distributions.
+    let node_errors = std::mem::take(&mut aud.node_errors);
+    for (_, cdf) in node_errors {
+        aud.report.share_errors.merge(&cdf);
+    }
+    aud.report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{FlightRecorder, RecordingMeta};
+
+    fn meta(weights: &[(u32, f64)]) -> RecordingMeta {
+        RecordingMeta {
+            weights: weights.to_vec(),
+            sync_period_ns: 1_000_000_000,
+            nodes: 1,
+        }
+    }
+
+    fn push(rec: &mut FlightRecorder, at_ns: u64, kind: EventKind) {
+        rec.record(ObsEvent {
+            at: SimTime::from_nanos(at_ns),
+            node: 0,
+            dev: 0,
+            kind,
+        });
+    }
+
+    /// Synthesises two flows backlogged through window 1 (10–20 s), where
+    /// flow 1 is serviced `b1` bytes and flow 2 `b2`. Tagging happens in
+    /// window 0 so both flows enter window 1 with deep queues — a flow is
+    /// "continuously backlogged" only in windows it starts queued.
+    fn two_flow_recording(w1: f64, w2: f64, b1: u64, b2: u64) -> Recording {
+        let mut rec = FlightRecorder::new(1, 1 << 14);
+        let sec = 1_000_000_000u64;
+        let chunk = 1u64 << 20;
+        // Queue up more requests than either flow will be serviced.
+        for i in 0..512 {
+            push(&mut rec, 0, EventKind::RequestTagged {
+                io: i, app: 1, bytes: chunk, write: false, start_tag: 0.0,
+            });
+            push(&mut rec, 0, EventKind::RequestTagged {
+                io: 1000 + i, app: 2, bytes: chunk, write: false, start_tag: 0.0,
+            });
+        }
+        let mut tag = 0.0f64;
+        let mut t = 10 * sec;
+        let (n1, n2) = (b1 / chunk, b2 / chunk);
+        assert!(n1.max(n2) < 512);
+        for i in 0..n1.max(n2) {
+            if i < n1 {
+                push(&mut rec, t, EventKind::Dispatched { io: i, app: 1, start_tag: tag });
+                push(&mut rec, t, EventKind::Completed {
+                    io: i, app: 1, bytes: chunk, write: false, latency_ns: 1000,
+                });
+            }
+            if i < n2 {
+                push(&mut rec, t, EventKind::Dispatched { io: 1000 + i, app: 2, start_tag: tag });
+                push(&mut rec, t, EventKind::Completed {
+                    io: 1000 + i, app: 2, bytes: chunk, write: false, latency_ns: 1000,
+                });
+            }
+            tag += 1.0;
+            t += sec / 128; // ≤ 512 steps stays inside window 1
+        }
+        // An event in window 2 forces the window-1 flush.
+        push(&mut rec, 21 * sec, EventKind::DepthAdjusted { depth: 4 });
+        rec.finish(meta(&[(1, w1), (2, w2)]))
+    }
+
+    #[test]
+    fn fair_window_passes() {
+        // 3:1 weights, 3:1 bytes → zero share error.
+        let r = two_flow_recording(3.0, 1.0, 192 << 20, 64 << 20);
+        let mut rep = audit(&r, &AuditConfig::default());
+        assert!(rep.passed(), "{}", rep.summary());
+        assert_eq!(rep.windows_checked, 1);
+        assert!(rep.share_errors.quantile(1.0).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn unfair_window_flagged() {
+        // 3:1 weights but equal service → share error 0.25 > tolerance.
+        let r = two_flow_recording(3.0, 1.0, 128 << 20, 128 << 20);
+        let rep = audit(&r, &AuditConfig::default());
+        assert!(!rep.passed());
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| v.invariant == Invariant::ProportionalShare));
+    }
+
+    #[test]
+    fn tiny_windows_are_skipped() {
+        // Unfair but far below min_window_bytes → no check, no violation.
+        let r = two_flow_recording(3.0, 1.0, 4 << 20, 4 << 20);
+        let rep = audit(&r, &AuditConfig::default());
+        assert!(rep.passed());
+        assert_eq!(rep.windows_checked, 0);
+    }
+
+    #[test]
+    fn start_tag_regression_flagged() {
+        let mut rec = FlightRecorder::new(1, 64);
+        push(&mut rec, 0, EventKind::Dispatched { io: 0, app: 1, start_tag: 5.0 });
+        push(&mut rec, 1, EventKind::Dispatched { io: 1, app: 1, start_tag: 4.0 });
+        let rep = audit(&rec.finish(meta(&[(1, 1.0)])), &AuditConfig::default());
+        assert_eq!(rep.violation_count, 1);
+        assert_eq!(rep.violations[0].invariant, Invariant::StartTagMonotone);
+    }
+
+    #[test]
+    fn equal_start_tags_allowed() {
+        let mut rec = FlightRecorder::new(1, 64);
+        for i in 0..3 {
+            push(&mut rec, i, EventKind::Dispatched { io: i, app: 1, start_tag: 7.0 });
+        }
+        let rep = audit(&rec.finish(meta(&[(1, 1.0)])), &AuditConfig::default());
+        assert!(rep.passed());
+        assert_eq!(rep.dispatches, 3);
+    }
+
+    #[test]
+    fn delay_within_broker_total_passes() {
+        let mut rec = FlightRecorder::new(1, 64);
+        push(&mut rec, 0, EventKind::Completed { io: 0, app: 1, bytes: 100, write: false, latency_ns: 1 });
+        push(&mut rec, 1, EventKind::BrokerSync { app: 1, total: 600 });
+        // foreign = 600 − 100 = 500; charging 500 is legal…
+        push(&mut rec, 2, EventKind::DelayApplied { app: 1, delay: 500 });
+        let rep = audit(&rec.finish(meta(&[(1, 1.0)])), &AuditConfig::default());
+        assert!(rep.passed());
+        assert_eq!(rep.delay_checks, 1);
+    }
+
+    #[test]
+    fn overcharged_delay_flagged() {
+        let mut rec = FlightRecorder::new(1, 64);
+        push(&mut rec, 0, EventKind::Completed { io: 0, app: 1, bytes: 100, write: false, latency_ns: 1 });
+        push(&mut rec, 1, EventKind::BrokerSync { app: 1, total: 600 });
+        // …but 501 exceeds the foreign service the broker reported.
+        push(&mut rec, 2, EventKind::DelayApplied { app: 1, delay: 501 });
+        let rep = audit(&rec.finish(meta(&[(1, 1.0)])), &AuditConfig::default());
+        assert!(!rep.passed());
+        assert_eq!(rep.violations[0].invariant, Invariant::DelayIdentity);
+    }
+
+    #[test]
+    fn truncated_node_skips_stateful_checks() {
+        let mut rec = FlightRecorder::new(1, 2);
+        // Overflow the 2-slot ring so node 0 is truncated, ending on an
+        // uncovered delay charge that would otherwise be a violation.
+        push(&mut rec, 0, EventKind::Completed { io: 0, app: 1, bytes: 1, write: false, latency_ns: 1 });
+        push(&mut rec, 1, EventKind::Completed { io: 1, app: 1, bytes: 1, write: false, latency_ns: 1 });
+        push(&mut rec, 2, EventKind::DelayApplied { app: 1, delay: 999 });
+        push(&mut rec, 3, EventKind::DelayApplied { app: 1, delay: 999 });
+        let rep = audit(&rec.finish(meta(&[(1, 1.0)])), &AuditConfig::default());
+        assert!(rep.passed());
+        assert_eq!(rep.truncated_nodes, vec![0]);
+        assert_eq!(rep.delay_checks, 0);
+    }
+
+    #[test]
+    fn empty_recording_passes() {
+        let rec = FlightRecorder::new(4, 8).finish(RecordingMeta::default());
+        let mut rep = audit(&rec, &AuditConfig::default());
+        assert!(rep.passed());
+        assert!(rep.summary().starts_with("PASS"));
+    }
+}

@@ -1,0 +1,283 @@
+//! The flight recorder: bounded per-node ring buffers of [`ObsEvent`]s.
+//!
+//! Memory is bounded by `nodes × capacity × sizeof(ObsEvent)`; when a
+//! node's ring is full the oldest event is dropped and counted, so a long
+//! run keeps its most recent history (the "flight recorder" contract).
+//! Finishing a recorder yields an immutable [`Recording`] — the input to
+//! the fairness auditor and the trace exporters.
+
+use crate::event::ObsEvent;
+use std::collections::VecDeque;
+
+/// Recorder configuration, carried inside the cluster config.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsConfig {
+    /// Record events at all. Off by default: the disabled path is a single
+    /// branch per emission site, keeping sweep results byte-identical.
+    pub enabled: bool,
+    /// Ring capacity per node, in events.
+    pub capacity: usize,
+}
+
+/// Default per-node ring capacity (events).
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: false,
+            capacity: DEFAULT_CAPACITY,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Reads the environment: `IBIS_OBS=1` enables recording,
+    /// `IBIS_OBS_CAP=<events>` overrides the per-node ring capacity.
+    pub fn from_env() -> Self {
+        let enabled = std::env::var("IBIS_OBS")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("on"))
+            .unwrap_or(false);
+        let capacity = std::env::var("IBIS_OBS_CAP")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(DEFAULT_CAPACITY);
+        ObsConfig { enabled, capacity }
+    }
+
+    /// An enabled config with the given per-node capacity.
+    pub fn enabled(capacity: usize) -> Self {
+        ObsConfig {
+            enabled: true,
+            capacity: capacity.max(1),
+        }
+    }
+}
+
+/// One node's bounded event ring.
+#[derive(Debug, Clone, Default)]
+struct NodeRing {
+    buf: VecDeque<ObsEvent>,
+    dropped: u64,
+}
+
+/// The per-run flight recorder. The engine routes stamped events here;
+/// each node keeps its own bounded ring so one chatty node cannot evict
+/// another node's history.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    capacity: usize,
+    rings: Vec<NodeRing>,
+    seen: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder for `nodes` nodes with `capacity` events per node.
+    pub fn new(nodes: u32, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            capacity,
+            rings: vec![NodeRing::default(); nodes.max(1) as usize],
+            seen: 0,
+        }
+    }
+
+    /// Records one event, evicting the node's oldest if its ring is full.
+    pub fn record(&mut self, ev: ObsEvent) {
+        self.seen += 1;
+        let ring = match self.rings.get_mut(ev.node as usize) {
+            Some(r) => r,
+            None => return, // out-of-range node: drop silently (defensive)
+        };
+        if ring.buf.len() == self.capacity {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        ring.buf.push_back(ev);
+    }
+
+    /// Events offered so far (retained + dropped).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Events currently retained across all rings.
+    pub fn retained(&self) -> usize {
+        self.rings.iter().map(|r| r.buf.len()).sum()
+    }
+
+    /// Freezes the recorder into a [`Recording`]: per-node streams are
+    /// merged and stably sorted by time, so per-node processing order is
+    /// preserved within equal timestamps.
+    pub fn finish(self, meta: RecordingMeta) -> Recording {
+        let dropped: Vec<u64> = self.rings.iter().map(|r| r.dropped).collect();
+        let mut events: Vec<ObsEvent> = Vec::with_capacity(self.retained());
+        for ring in self.rings {
+            events.extend(ring.buf);
+        }
+        events.sort_by_key(|e| e.at);
+        Recording {
+            meta,
+            events,
+            seen: self.seen,
+            dropped,
+        }
+    }
+}
+
+/// Run-level context the auditor and exporters need alongside the raw
+/// event stream.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingMeta {
+    /// `(app id, io_weight)` for every application in the run — the
+    /// source of truth for proportional-share expectations (weight events
+    /// could be evicted from a ring; the metadata cannot).
+    pub weights: Vec<(u32, f64)>,
+    /// Broker sync period in nanoseconds (0 when coordination is off).
+    pub sync_period_ns: u64,
+    /// Number of nodes in the run.
+    pub nodes: u32,
+}
+
+impl RecordingMeta {
+    /// The configured weight of `app` (1.0 when unknown).
+    pub fn weight_of(&self, app: u32) -> f64 {
+        self.weights
+            .iter()
+            .find(|&&(a, _)| a == app)
+            .map(|&(_, w)| w)
+            .unwrap_or(1.0)
+    }
+}
+
+/// A frozen flight-recorder capture: the merged, time-sorted event stream
+/// plus run metadata and drop accounting.
+#[derive(Debug, Clone, Default)]
+pub struct Recording {
+    /// Run metadata.
+    pub meta: RecordingMeta,
+    events: Vec<ObsEvent>,
+    seen: u64,
+    dropped: Vec<u64>,
+}
+
+impl Recording {
+    /// The merged event stream, sorted by time (stable per node).
+    pub fn events(&self) -> &[ObsEvent] {
+        &self.events
+    }
+
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events offered to the recorder over the run (retained + dropped).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Events evicted from `node`'s ring.
+    pub fn dropped_on(&self, node: u32) -> u64 {
+        self.dropped.get(node as usize).copied().unwrap_or(0)
+    }
+
+    /// Total events evicted across all rings.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped.iter().sum()
+    }
+
+    /// True if `node`'s history is incomplete (its ring evicted events).
+    /// Invariants that reconstruct cumulative state are skipped for
+    /// truncated nodes.
+    pub fn truncated(&self, node: u32) -> bool {
+        self.dropped_on(node) > 0
+    }
+
+    /// Approximate resident bytes of the retained events.
+    pub fn retained_bytes(&self) -> usize {
+        self.events.len() * std::mem::size_of::<ObsEvent>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use ibis_simcore::SimTime;
+
+    fn ev(at: u64, node: u32, depth: u32) -> ObsEvent {
+        ObsEvent {
+            at: SimTime::from_nanos(at),
+            node,
+            dev: 0,
+            kind: EventKind::DepthAdjusted { depth },
+        }
+    }
+
+    #[test]
+    fn ring_bounds_memory_and_counts_drops() {
+        let mut rec = FlightRecorder::new(1, 3);
+        for i in 0..5 {
+            rec.record(ev(i, 0, i as u32));
+        }
+        assert_eq!(rec.seen(), 5);
+        assert_eq!(rec.retained(), 3);
+        let r = rec.finish(RecordingMeta::default());
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped_on(0), 2);
+        assert!(r.truncated(0));
+        // The *newest* events survive.
+        assert!(matches!(r.events()[0].kind, EventKind::DepthAdjusted { depth: 2 }));
+    }
+
+    #[test]
+    fn per_node_rings_are_independent() {
+        let mut rec = FlightRecorder::new(2, 2);
+        for i in 0..10 {
+            rec.record(ev(i, 0, 0));
+        }
+        rec.record(ev(100, 1, 7));
+        let r = rec.finish(RecordingMeta::default());
+        assert_eq!(r.dropped_on(0), 8);
+        assert_eq!(r.dropped_on(1), 0);
+        assert!(!r.truncated(1));
+        assert_eq!(r.dropped_total(), 8);
+    }
+
+    #[test]
+    fn finish_merges_sorted_by_time() {
+        let mut rec = FlightRecorder::new(2, 16);
+        rec.record(ev(5, 1, 1));
+        rec.record(ev(3, 0, 2));
+        rec.record(ev(5, 0, 3));
+        let r = rec.finish(RecordingMeta::default());
+        let times: Vec<u64> = r.events().iter().map(|e| e.at.as_nanos()).collect();
+        assert_eq!(times, vec![3, 5, 5]);
+    }
+
+    #[test]
+    fn meta_weight_lookup() {
+        let meta = RecordingMeta {
+            weights: vec![(1, 32.0), (2, 1.0)],
+            sync_period_ns: 1_000_000_000,
+            nodes: 8,
+        };
+        assert_eq!(meta.weight_of(1), 32.0);
+        assert_eq!(meta.weight_of(9), 1.0);
+    }
+
+    #[test]
+    fn env_config_defaults_off() {
+        std::env::remove_var("IBIS_OBS");
+        let c = ObsConfig::from_env();
+        assert!(!c.enabled);
+        assert_eq!(c.capacity, DEFAULT_CAPACITY);
+    }
+}

@@ -83,6 +83,17 @@ impl Cdf {
         self.samples.iter().sum::<f64>() / self.samples.len() as f64
     }
 
+    /// Merges another CDF's samples into this one. Used by the fairness
+    /// auditor to aggregate per-node share-error distributions into one
+    /// run-wide CDF.
+    pub fn merge(&mut self, other: &Cdf) {
+        if other.samples.is_empty() {
+            return;
+        }
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
     /// Iterates `(value, cumulative_fraction)` points — the plottable CDF
     /// curve, one point per sample.
     pub fn points(&mut self) -> Vec<(f64, f64)> {
@@ -153,5 +164,41 @@ mod tests {
     fn mean_matches() {
         let c = Cdf::from_samples([1.0, 2.0, 3.0]);
         assert_eq!(c.mean(), 2.0);
+    }
+
+    #[test]
+    fn single_sample_quantiles() {
+        let mut c = Cdf::from_samples([7.0]);
+        assert_eq!(c.quantile(0.0), Some(7.0));
+        assert_eq!(c.quantile(0.5), Some(7.0));
+        assert_eq!(c.quantile(1.0), Some(7.0));
+        assert_eq!(c.fraction_at(7.0), 1.0);
+        assert_eq!(c.points(), vec![(7.0, 1.0)]);
+    }
+
+    #[test]
+    fn merge_disjoint_ranges() {
+        let mut lo = Cdf::from_samples([1.0, 2.0]);
+        let hi = Cdf::from_samples([10.0, 20.0]);
+        // Query first so `lo` is sorted; merge must clear the sorted flag.
+        assert_eq!(lo.quantile(1.0), Some(2.0));
+        lo.merge(&hi);
+        assert_eq!(lo.len(), 4);
+        assert_eq!(lo.quantile(0.5), Some(2.0));
+        assert_eq!(lo.quantile(1.0), Some(20.0));
+        assert_eq!(lo.fraction_at(5.0), 0.5);
+    }
+
+    #[test]
+    fn merge_into_empty_and_from_empty() {
+        let mut c = Cdf::new();
+        c.merge(&Cdf::new());
+        assert!(c.is_empty());
+        c.merge(&Cdf::from_samples([3.0]));
+        assert_eq!(c.quantile(0.5), Some(3.0));
+        let before = c.len();
+        c.merge(&Cdf::new());
+        assert_eq!(c.len(), before);
+        assert_eq!(c.quantile(0.5), Some(3.0));
     }
 }

@@ -206,6 +206,48 @@ mod tests {
     }
 
     #[test]
+    fn merge_empty_histograms() {
+        // empty ⊕ empty stays empty: min/max stay None, not sentinel values.
+        let mut a = Histogram::new();
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.min(), None);
+        assert_eq!(a.max(), None);
+        assert_eq!(a.quantile(0.5), None);
+        assert_eq!(a.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_single_sample_into_empty() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        b.record(42);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.min(), Some(42));
+        assert_eq!(a.max(), Some(42));
+        assert_eq!(a.quantile(1.0), Some(42));
+    }
+
+    #[test]
+    fn merge_disjoint_ranges_preserves_quantile_order() {
+        let mut lo = Histogram::new();
+        let mut hi = Histogram::new();
+        for v in 1..=100u64 {
+            lo.record(v);
+            hi.record(v * 1_000_000);
+        }
+        lo.merge(&hi);
+        assert_eq!(lo.count(), 200);
+        // Half the mass is below 1e6, so p25 sits in the low range and p75
+        // in the high range.
+        assert!(lo.quantile(0.25).unwrap() <= 100);
+        assert!(lo.quantile(0.75).unwrap() >= 1_000_000);
+        assert_eq!(lo.min(), Some(1));
+        assert_eq!(lo.max(), Some(100_000_000));
+    }
+
+    #[test]
     fn merge_combines() {
         let mut a = Histogram::new();
         let mut b = Histogram::new();

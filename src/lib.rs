@@ -21,11 +21,14 @@
 //! * [`workloads`] — TeraGen / TeraSort / TeraValidate / WordCount /
 //!   Facebook2009 (SWIM) / TPC-H-on-Hive generators.
 //! * [`cluster`] — the full-cluster simulator and experiment harness.
+//! * [`obs`] — flight-recorder tracing, the fairness auditor, and the
+//!   Chrome trace exporter (`IBIS_OBS=1` to record any run).
 
 pub use ibis_cluster as cluster;
 pub use ibis_core as core;
 pub use ibis_dfs as dfs;
 pub use ibis_mapreduce as mapreduce;
+pub use ibis_obs as obs;
 pub use ibis_simcore as simcore;
 pub use ibis_storage as storage;
 pub use ibis_workloads as workloads;
