@@ -5,19 +5,22 @@
 //! windowed proportional share, DSFQ delay identity), and exits non-zero
 //! if any invariant is violated. Results land in `results/audit.json`.
 //!
-//! Usage: `audit [--list] [--trace DIR] [scenario ...]`
+//! Usage: `audit [--list] [--trace DIR] [--json PATH] [scenario ...]`
 //!
 //! * `--list` prints the scenario names and exits.
 //! * `--trace DIR` additionally writes each recording as Chrome
 //!   `trace_event` JSON (`DIR/<scenario>.trace.json`, viewable in
 //!   `chrome://tracing` or Perfetto).
+//! * `--json PATH` writes a machine-readable verdict — per scenario and
+//!   per invariant, checked/violation counts plus pass/fail — so CI can
+//!   gate on structure instead of grepping the human summary.
 //! * Naming scenarios runs only those; unknown names error.
 
 use ibis_bench::experiments::{hdd_cluster, sfqd2};
-use ibis_bench::ResultSink;
+use ibis_bench::{json, ResultSink};
 use ibis_cluster::prelude::*;
 use ibis_dfs::Placement;
-use ibis_obs::{audit, chrome, AuditConfig, ObsConfig};
+use ibis_obs::{audit, chrome, AuditConfig, AuditReport, Invariant, ObsConfig};
 use ibis_simcore::units::GIB;
 use ibis_workloads::{teragen, wordcount};
 
@@ -85,8 +88,43 @@ const SCENARIOS: &[Scenario] = &[
     },
 ];
 
+/// The three audited invariants with the number of opportunities each had
+/// to fire in `report` — pairing every violation count with its
+/// denominator so a "0 violations" verdict distinguishable from "never
+/// checked".
+fn invariant_rows(report: &AuditReport) -> [(Invariant, u64); 3] {
+    [
+        (Invariant::StartTagMonotone, report.dispatches),
+        (Invariant::ProportionalShare, report.windows_checked),
+        (Invariant::DelayIdentity, report.delay_checks),
+    ]
+}
+
+/// Appends one scenario's verdict to the open `scenarios` array.
+fn json_scenario(w: &mut json::Writer, name: &str, report: &AuditReport, dropped: u64) {
+    w.open_object(None);
+    w.string(Some("scenario"), name);
+    w.value(Some("passed"), if report.passed() { "true" } else { "false" });
+    w.number(Some("events"), report.events as f64);
+    w.number(Some("events_dropped"), dropped as f64);
+    w.number(Some("violations"), report.violation_count as f64);
+    w.open_array(Some("invariants"));
+    for (inv, checked) in invariant_rows(report) {
+        let violations = report.violations_of(inv);
+        w.open_object(None);
+        w.string(Some("invariant"), &inv.to_string());
+        w.value(Some("passed"), if violations == 0 { "true" } else { "false" });
+        w.number(Some("checked"), checked as f64);
+        w.number(Some("violations"), violations as f64);
+        w.close();
+    }
+    w.close();
+    w.close();
+}
+
 fn main() {
     let mut trace_dir: Option<String> = None;
+    let mut json_path: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -100,6 +138,12 @@ fn main() {
             "--trace" => {
                 trace_dir = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--trace needs a directory argument");
+                    std::process::exit(2);
+                }));
+            }
+            "--json" => {
+                json_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--json needs a file argument");
                     std::process::exit(2);
                 }));
             }
@@ -126,6 +170,11 @@ fn main() {
 
     let mut sink = ResultSink::new("audit", "fixed small scenarios");
     let mut failed = false;
+    let mut verdict = json_path.as_ref().map(|_| {
+        let mut w = json::bench_writer("audit");
+        w.open_array(Some("scenarios"));
+        w
+    });
     for s in SCENARIOS {
         if !names.is_empty() && !names.iter().any(|n| n == s.name) {
             continue;
@@ -166,6 +215,9 @@ fn main() {
             &format!("{}_violations", s.name),
             report.violation_count as f64,
         );
+        if let Some(w) = verdict.as_mut() {
+            json_scenario(w, s.name, &report, rec.dropped_total());
+        }
         if let Some(dir) = &trace_dir {
             std::fs::create_dir_all(dir).expect("create trace dir");
             let path = format!("{dir}/{}.trace.json", s.name);
@@ -174,6 +226,12 @@ fn main() {
         }
     }
     sink.save();
+    if let (Some(mut w), Some(path)) = (verdict, json_path) {
+        w.close(); // scenarios array
+        w.value(Some("passed"), if failed { "false" } else { "true" });
+        json::write_bench(w, &path);
+        println!("machine-readable verdict → {path}");
+    }
     if failed {
         eprintln!("\naudit FAILED: at least one invariant violated");
         std::process::exit(1);

@@ -111,9 +111,7 @@ fn main() {
     let hot_ns = micro(true);
     let emit_overhead_pct = (hot_ns / cold_ns - 1.0) * 100.0;
 
-    let mut w = json::Writer::new();
-    w.open_object(None);
-    w.string(Some("bench"), "obs");
+    let mut w = json::bench_writer("obs");
     w.open_object(Some("sim_wall_clock"));
     w.string(Some("case"), "wc32_vs_teragen_sfqd2_quick");
     w.number(Some("recorder_off_secs"), off_secs);
@@ -130,9 +128,7 @@ fn main() {
     w.number(Some("recording_on_ns_per_op"), hot_ns);
     w.number(Some("emit_overhead_pct"), emit_overhead_pct);
     w.close();
-    w.close();
-    let doc = w.finish();
-    std::fs::write(&out_path, format!("{doc}\n")).expect("write BENCH_obs.json");
+    json::write_bench(w, &out_path);
     eprintln!(
         "[bench_obs] {out_path}: sim {off_secs:.2}s → {on_secs:.2}s \
          ({overhead_pct:+.1}%), {events_per_sec:.0} events/s, \

@@ -196,9 +196,7 @@ fn main() {
     let (dense_ns, hash_ns) = micro(8, 8);
     let improvement_pct = (1.0 - dense_ns / hash_ns) * 100.0;
 
-    let mut w = json::Writer::new();
-    w.open_object(None);
-    w.string(Some("bench"), "sweep");
+    let mut w = json::bench_writer("sweep");
     w.string(Some("scale"), ScaleProfile::from_env().label());
     w.number(Some("host_cores"), cores as f64);
     w.open_object(Some("suite_wall_clock"));
@@ -213,9 +211,7 @@ fn main() {
     w.number(Some("hashmap_reference_ns_per_op"), hash_ns);
     w.number(Some("improvement_pct"), improvement_pct);
     w.close();
-    w.close();
-    let doc = w.finish();
-    std::fs::write(&out_path, format!("{doc}\n")).expect("write BENCH_sweep.json");
+    json::write_bench(w, &out_path);
     eprintln!(
         "[bench_sweep] {out_path}: suite {serial_secs:.1}s → {parallel_secs:.1}s \
          (×{:.2} at {par_jobs} jobs, {cores} cores); micro {hash_ns:.0} → {dense_ns:.0} \

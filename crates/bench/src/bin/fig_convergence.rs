@@ -1,0 +1,10 @@
+//! Regenerates the controller-convergence figure (see DESIGN.md §4).
+//! Scale via IBIS_SCALE={quick,paper}.
+use ibis_bench::figs::fig_convergence;
+use ibis_bench::ScaleProfile;
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    let sink = fig_convergence::run(scale);
+    sink.save();
+}

@@ -6,6 +6,55 @@
 //! formatting, and an object/array writer with serde_json-compatible
 //! 2-space pretty indentation.
 
+/// Schema version stamped into every `BENCH_*.json` record. Bump when a
+/// bench record's shape changes incompatibly, so downstream trend tooling
+/// can detect mixed histories.
+pub const BENCH_SCHEMA_VERSION: f64 = 1.0;
+
+/// Short git revision of the checkout producing the record, or
+/// `"unknown"` outside a git work tree.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The cargo profile the bench binary was built under.
+pub fn build_profile() -> &'static str {
+    if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    }
+}
+
+/// Opens the root object of a `BENCH_*.json` record with the shared
+/// provenance header every bench bin stamps: bench name, schema version,
+/// git revision, and build profile. Append the record body, then hand the
+/// writer to [`write_bench`].
+pub fn bench_writer(bench: &str) -> Writer {
+    let mut w = Writer::new();
+    w.open_object(None);
+    w.string(Some("bench"), bench);
+    w.number(Some("schema_version"), BENCH_SCHEMA_VERSION);
+    w.string(Some("git_rev"), &git_rev());
+    w.string(Some("build_profile"), build_profile());
+    w
+}
+
+/// Closes the root object opened by [`bench_writer`] and writes the
+/// newline-terminated record to `path`.
+pub fn write_bench(mut w: Writer, path: &str) {
+    w.close();
+    let doc = w.finish();
+    std::fs::write(path, format!("{doc}\n")).unwrap_or_else(|e| panic!("write {path}: {e}"));
+}
+
 /// Escapes `s` for inclusion inside a JSON string literal (quotes not
 /// included).
 pub fn escape(s: &str) -> String {
@@ -148,6 +197,18 @@ mod tests {
         assert_eq!(number(0.25), "0.25");
         assert_eq!(number(f64::NAN), "null");
         assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn bench_writer_stamps_provenance() {
+        let mut w = bench_writer("test");
+        w.number(Some("x"), 1.0);
+        w.close();
+        let doc = w.finish();
+        assert!(doc.starts_with("{\n  \"bench\": \"test\",\n  \"schema_version\": 1.0,"));
+        assert!(doc.contains("\"git_rev\": \""));
+        assert!(doc.contains(&format!("\"build_profile\": \"{}\"", build_profile())));
+        assert!(doc.contains("\"x\": 1.0"));
     }
 
     #[test]

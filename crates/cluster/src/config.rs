@@ -144,6 +144,12 @@ pub struct ClusterConfig {
     /// binary can be traced without a config change; disabled it adds one
     /// branch per emission site and does not perturb results.
     pub obs: ibis_obs::ObsConfig,
+    /// Metrics-sampler configuration (see `ibis-metrics`). Defaults to the
+    /// environment (`IBIS_METRICS=1` enables sampling, with an optional
+    /// `IBIS_METRICS_PERIOD_MS` cadence), so any experiment binary can
+    /// export time-series telemetry without a config change; disabled, the
+    /// engine schedules no sampling events and the hot paths are untouched.
+    pub metrics: ibis_metrics::MetricsConfig,
 }
 
 impl Default for ClusterConfig {
@@ -173,6 +179,7 @@ impl Default for ClusterConfig {
             max_sim_time: SimDuration::from_secs(48 * 3600),
             seed: 0x1b15,
             obs: ibis_obs::ObsConfig::from_env(),
+            metrics: ibis_metrics::MetricsConfig::from_env(),
         }
     }
 }

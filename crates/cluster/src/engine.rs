@@ -27,6 +27,7 @@ use ibis_core::{AppId, IoClass, IoKind, Request, SchedulingBroker, SfqD2Config};
 use ibis_dfs::{BlockInfo, Namenode, NamenodeConfig, NodeId};
 use ibis_mapreduce::job::JobEvent;
 use ibis_mapreduce::{JobId, JobManager, Step, TaskAssignment, TaskKind};
+use ibis_metrics::{Labels, MetricsRegistry, Sampler};
 use ibis_obs::{EventKind, FlightRecorder, ObsEvent, RecordingMeta};
 use ibis_simcore::metrics::{Histogram, TimeSeries};
 use ibis_simcore::{EventQueue, SimDuration, SimTime};
@@ -72,6 +73,23 @@ enum Event {
     BrokerSync,
     /// A task finished a compute step.
     ComputeDone { slot: u64 },
+    /// Metrics sampling tick. A pure observer: it is excluded from the
+    /// event/end-time accounting so enabling telemetry cannot change the
+    /// reported `events` or `makespan`.
+    MetricsSample,
+}
+
+/// Bucket upper bounds (ms) for the per-device completion-latency
+/// histograms recorded when metrics are enabled.
+const IO_LATENCY_BOUNDS_MS: [f64; 10] =
+    [1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0];
+
+/// Engine-side telemetry state (None unless `cfg.metrics.enabled`).
+struct MetricsState {
+    registry: MetricsRegistry,
+    sampler: Sampler,
+    /// Reusable buffer schedulers append their samples into.
+    scratch: Vec<ibis_metrics::Sample>,
 }
 
 /// Async-I/O categories a task holds credits for.
@@ -250,6 +268,10 @@ pub struct Sim {
     /// true processing order.
     recorder: Option<FlightRecorder>,
     obs_scratch: Vec<(SimTime, EventKind)>,
+    /// Metrics registry + sampler (None unless `cfg.metrics.enabled`).
+    /// Sampling runs on its own virtual-time event; disabled it costs one
+    /// branch on the completion path and nothing anywhere else.
+    metrics: Option<MetricsState>,
 }
 
 impl Sim {
@@ -408,6 +430,14 @@ impl Sim {
                 }
             }
         }
+        let metrics = cfg.metrics.enabled.then(|| {
+            queue.push(SimTime::ZERO + cfg.metrics.sample_period, Event::MetricsSample);
+            MetricsState {
+                registry: MetricsRegistry::new(),
+                sampler: Sampler::new(cfg.metrics.sample_period),
+                scratch: Vec::new(),
+            }
+        });
 
         Sim {
             job_mgr: JobManager::new(cfg.chunk),
@@ -438,6 +468,7 @@ impl Sim {
             last_event_time: SimTime::ZERO,
             recorder,
             obs_scratch: Vec::new(),
+            metrics,
         }
     }
 
@@ -504,8 +535,13 @@ impl Sim {
         self.total_write = TimeSeries::new(self.cfg.series_bin);
 
         while let Some((now, ev)) = self.queue.pop() {
-            self.events += 1;
-            self.last_event_time = now;
+            // Sampling ticks are pure observers: they bypass the event and
+            // end-time accounting so a metrics-enabled run reports the same
+            // `events` and `makespan` as a disabled one.
+            if !matches!(ev, Event::MetricsSample) {
+                self.events += 1;
+                self.last_event_time = now;
+            }
             assert!(
                 now - SimTime::ZERO <= self.cfg.max_sim_time,
                 "simulation exceeded max_sim_time at {now}: likely deadlock \
@@ -554,6 +590,13 @@ impl Sim {
                 }
             }
             Event::ComputeDone { slot } => self.advance(slot, now),
+            Event::MetricsSample => {
+                self.metrics_sample(now);
+                if !self.finished {
+                    self.queue
+                        .push(now + self.cfg.metrics.sample_period, Event::MetricsSample);
+                }
+            }
         }
     }
 
@@ -1111,6 +1154,11 @@ impl Sim {
             .expect("device completion for unknown io");
         let latency = now - dispatched;
         dq.sched.on_complete(app, kind, bytes, latency, now);
+        if let Some(m) = self.metrics.as_mut() {
+            m.registry
+                .histogram("io_latency_ms", Labels::on(node, dev as u8), &IO_LATENCY_BOUNDS_MS)
+                .observe(latency.as_nanos() as f64 / 1e6);
+        }
         // The engine emits Completed itself: it has the full request
         // context here and covers every policy, including Native.
         if self.recorder.is_some() {
@@ -1363,6 +1411,58 @@ impl Sim {
                 self.drain_sched_obs(n as u32, dev);
             }
         }
+        for b in &mut self.brokers {
+            b.mark_sync(now);
+        }
+    }
+
+    // ---- metrics ------------------------------------------------------------
+
+    /// One sampling tick: pulls every scheduler's telemetry into gauges,
+    /// refreshes the broker and engine gauges, and records one time-series
+    /// point per instrument. Runs only on its own virtual-time event when
+    /// `cfg.metrics.enabled`, so the submit/dispatch/complete paths never
+    /// pay for it.
+    fn metrics_sample(&mut self, now: SimTime) {
+        let Some(m) = self.metrics.as_mut() else {
+            return;
+        };
+        for (n, node) in self.nodes.iter().enumerate() {
+            for (d, dq) in node.devs.iter().enumerate() {
+                m.scratch.clear();
+                dq.sched.sample_metrics(now, &mut m.scratch);
+                let base = Labels::on(n as u32, d as u8);
+                for s in &m.scratch {
+                    m.registry.gauge(s.name, base.with_app(s.app)).set(s.value);
+                }
+            }
+        }
+        for (d, broker) in self.brokers.iter().enumerate() {
+            let labels = Labels::dev(d as u8);
+            m.registry
+                .gauge("broker_live_apps", labels)
+                .set(broker.live_apps() as f64);
+            m.registry
+                .gauge("broker_state_bytes", labels)
+                .set(broker.state_bytes() as f64);
+            if let Some(age) = broker.sync_age(now) {
+                m.registry
+                    .gauge("broker_sync_age_s", labels)
+                    .set(age.as_secs_f64());
+            }
+            for (app, bytes) in broker.totals_sorted() {
+                m.registry
+                    .gauge("broker_total_bytes", labels.with_app(Some(app.0)))
+                    .set(bytes as f64);
+            }
+        }
+        m.registry
+            .gauge("engine_tasks_running", Labels::NONE)
+            .set(self.tasks.len() as f64);
+        m.registry
+            .gauge("engine_events_total", Labels::NONE)
+            .set(self.events as f64);
+        m.sampler.sample(now, &m.registry);
     }
 
     // ---- report ----------------------------------------------------------------
@@ -1438,6 +1538,11 @@ impl Sim {
             }
         }
 
+        let metrics = self
+            .metrics
+            .take()
+            .map(|m| m.sampler.into_capture(m.registry.snapshot()));
+
         RunReport {
             jobs,
             queries,
@@ -1464,6 +1569,7 @@ impl Sim {
             events: self.events,
             reference_latencies_ms: self.reference_ms,
             recording,
+            metrics,
         }
     }
 }
@@ -1632,6 +1738,57 @@ mod tests {
         };
         let off = run(ibis_obs::ObsConfig::default());
         let on = run(ibis_obs::ObsConfig::enabled(1 << 16));
+        assert_eq!(off.events, on.events);
+        assert_eq!(off.makespan, on.makespan);
+        for j in &off.jobs {
+            assert_eq!(Some(j.runtime), on.job(&j.name).map(|x| x.runtime));
+        }
+    }
+
+    #[test]
+    fn metrics_off_by_default_and_captured_when_enabled() {
+        let mut exp = Experiment::new(tiny_cluster());
+        exp.add_job(teragen(GIB));
+        assert!(exp.run().metrics.is_none());
+
+        let mut cfg = tiny_cluster();
+        cfg.policy = Policy::SfqD2(SfqD2Config::default());
+        cfg.coordination = true;
+        cfg.metrics = ibis_metrics::MetricsConfig::enabled(SimDuration::from_secs(1));
+        let mut exp = Experiment::new(cfg);
+        exp.add_job(teragen(GIB));
+        let r = exp.run();
+        let cap = r.metrics.expect("metrics captured");
+        assert!(cap.samples_taken > 0);
+        // Node 0's HDFS controller depth stays within the clamp across the
+        // whole series.
+        let depth = cap
+            .series_for("ctl_depth", Labels::on(0, 0))
+            .expect("depth series");
+        assert!(!depth.points.is_empty());
+        assert!(depth.values().iter().all(|&v| (1.0..=12.0).contains(&v)));
+        // The end-of-run snapshot carries the same instruments, plus the
+        // completion-latency histograms only the engine records.
+        assert!(cap.snapshot.row("ctl_depth", Labels::on(0, 0)).is_some());
+        assert!(cap.snapshot.rows.iter().any(|row| row.name == "io_latency_ms"));
+        // Broker telemetry appears once coordination ran.
+        assert!(cap.series_named("broker_sync_age_s").next().is_some());
+    }
+
+    #[test]
+    fn metrics_do_not_perturb_results() {
+        let run = |metrics: ibis_metrics::MetricsConfig| {
+            let mut cfg = tiny_cluster();
+            cfg.policy = Policy::SfqD2(SfqD2Config::default());
+            cfg.coordination = true;
+            cfg.metrics = metrics;
+            let mut exp = Experiment::new(cfg);
+            exp.add_job(teragen(GIB));
+            exp.add_job(wordcount(GIB));
+            exp.run()
+        };
+        let off = run(ibis_metrics::MetricsConfig::default());
+        let on = run(ibis_metrics::MetricsConfig::enabled(SimDuration::from_millis(250)));
         assert_eq!(off.events, on.events);
         assert_eq!(off.makespan, on.makespan);
         for j in &off.jobs {

@@ -80,6 +80,11 @@ pub struct RunReport {
     /// (`ClusterConfig::obs`). Feed it to `ibis_obs::audit` or
     /// `ibis_obs::chrome::export`.
     pub recording: Option<ibis_obs::Recording>,
+    /// Sampled time-series telemetry plus the end-of-run snapshot, when
+    /// metrics were enabled (`ClusterConfig::metrics`). Feed it to
+    /// `ibis_metrics::csv::export`, `ibis_metrics::prometheus::encode`
+    /// (via the snapshot), or `ibis_metrics::convergence::diagnose`.
+    pub metrics: Option<ibis_metrics::MetricsCapture>,
 }
 
 impl RunReport {

@@ -20,6 +20,7 @@
 //!   the same payload accounting.
 
 use crate::request::AppId;
+use ibis_simcore::{SimDuration, SimTime};
 use std::collections::HashMap;
 
 /// Wire-size model: each (app id, byte count) pair costs 12 bytes
@@ -45,6 +46,7 @@ pub struct BrokerStats {
 pub struct SchedulingBroker {
     totals: HashMap<AppId, u64>,
     stats: BrokerStats,
+    last_sync: Option<SimTime>,
 }
 
 impl SchedulingBroker {
@@ -99,6 +101,27 @@ impl SchedulingBroker {
     /// Overhead counters.
     pub fn stats(&self) -> BrokerStats {
         self.stats
+    }
+
+    /// Records the completion of a sync round at virtual time `now`, so
+    /// staleness of the totals is observable between rounds.
+    pub fn mark_sync(&mut self, now: SimTime) {
+        self.last_sync = Some(now);
+    }
+
+    /// Virtual time since the last completed sync round, or `None` before
+    /// the first round. This is the worst-case staleness of any total a
+    /// local scheduler is currently delaying against.
+    pub fn sync_age(&self, now: SimTime) -> Option<SimDuration> {
+        self.last_sync.map(|t| now.saturating_since(t))
+    }
+
+    /// All `(app, total bytes)` pairs, sorted by app id for deterministic
+    /// iteration (the underlying map is unordered).
+    pub fn totals_sorted(&self) -> Vec<(AppId, u64)> {
+        let mut v: Vec<(AppId, u64)> = self.totals.iter().map(|(&a, &b)| (a, b)).collect();
+        v.sort_by_key(|&(a, _)| a);
+        v
     }
 }
 
@@ -160,6 +183,25 @@ mod tests {
         broker.retire(A);
         assert_eq!(broker.live_apps(), 1);
         assert_eq!(broker.total(A), None);
+    }
+
+    #[test]
+    fn sync_age_tracks_last_round() {
+        use ibis_simcore::{SimDuration, SimTime};
+        let mut broker = SchedulingBroker::new();
+        assert_eq!(broker.sync_age(SimTime::from_secs(5)), None);
+        broker.mark_sync(SimTime::from_secs(3));
+        assert_eq!(
+            broker.sync_age(SimTime::from_secs(5)),
+            Some(SimDuration::from_secs(2))
+        );
+    }
+
+    #[test]
+    fn totals_sorted_is_deterministic() {
+        let mut broker = SchedulingBroker::new();
+        broker.report(&[(B, 5), (A, 9)]);
+        assert_eq!(broker.totals_sorted(), vec![(A, 9), (B, 5)]);
     }
 
     #[test]

@@ -78,6 +78,9 @@ pub struct DepthController {
     write_n: u64,
     period_start: SimTime,
     updates: u64,
+    // last control decision, for telemetry (NaN until the first update)
+    last_latency_ns: f64,
+    last_ref_ns: f64,
 }
 
 impl DepthController {
@@ -95,6 +98,8 @@ impl DepthController {
             write_n: 0,
             period_start: SimTime::ZERO,
             updates: 0,
+            last_latency_ns: f64::NAN,
+            last_ref_ns: f64::NAN,
         }
     }
 
@@ -116,6 +121,18 @@ impl DepthController {
     /// Number of control updates performed so far.
     pub fn updates(&self) -> u64 {
         self.updates
+    }
+
+    /// Mean observed latency `L(k)` of the most recent control update, in
+    /// milliseconds. `None` until the first update fires.
+    pub fn last_latency_ms(&self) -> Option<f64> {
+        self.last_latency_ns.is_finite().then(|| self.last_latency_ns / 1e6)
+    }
+
+    /// Mix-weighted reference latency `L_ref` used by the most recent
+    /// control update, in milliseconds. `None` until the first update.
+    pub fn last_reference_ms(&self) -> Option<f64> {
+        self.last_ref_ns.is_finite().then(|| self.last_ref_ns / 1e6)
     }
 
     /// Records one completed I/O of the given direction and latency.
@@ -152,6 +169,8 @@ impl DepthController {
         // Eq. 1, with the gain converted from per-µs to per-ns.
         let k_ns = self.cfg.gain_per_us / 1_000.0;
         self.d = (self.d + k_ns * (l_ref - l_k)).clamp(self.cfg.d_min, self.cfg.d_max);
+        self.last_latency_ns = l_k;
+        self.last_ref_ns = l_ref;
         self.read_lat = SimDuration::ZERO;
         self.read_n = 0;
         self.write_lat = SimDuration::ZERO;
@@ -269,6 +288,18 @@ mod tests {
         c.observe(true, SimDuration::from_millis(50));
         c.maybe_update(SimTime::from_secs(2));
         assert!((c.depth_f64() - d1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn last_update_telemetry_exposed() {
+        let mut c = DepthController::new(cfg(1e-6));
+        assert_eq!(c.last_latency_ms(), None);
+        assert_eq!(c.last_reference_ms(), None);
+        c.observe(true, SimDuration::from_millis(30));
+        c.observe(true, SimDuration::from_millis(50));
+        c.maybe_update(SimTime::from_secs(1));
+        assert!((c.last_latency_ms().unwrap() - 40.0).abs() < 1e-9);
+        assert!((c.last_reference_ms().unwrap() - 50.0).abs() < 1e-9);
     }
 
     #[test]

@@ -177,6 +177,19 @@ pub trait IoScheduler {
     /// The engine calls this inside the handler that produced the events
     /// so the per-node recording preserves true processing order.
     fn take_events(&mut self, _sink: &mut Vec<(SimTime, ibis_obs::EventKind)>) {}
+
+    /// Appends the scheduler's current state as telemetry samples. Called
+    /// by the engine's metrics sampler on its virtual-time cadence — never
+    /// from the submit/dispatch/complete paths, so schedulers pay nothing
+    /// when sampling is disabled. The default exposes the queue/outstanding
+    /// gauges every scheduler already tracks.
+    fn sample_metrics(&self, _now: SimTime, out: &mut Vec<ibis_metrics::Sample>) {
+        out.push(ibis_metrics::Sample::global("sched_queued", self.queued() as f64));
+        out.push(ibis_metrics::Sample::global(
+            "sched_outstanding",
+            self.outstanding() as f64,
+        ));
+    }
 }
 
 /// Declarative scheduler choice used by experiment configurations; maps

@@ -67,6 +67,8 @@ struct FlowState {
     foreign_consumed: u64,
     /// Requests queued for this flow (for introspection only).
     backlog: usize,
+    /// Bytes queued for this flow (for introspection only).
+    backlog_bytes: u64,
 }
 
 impl FlowState {
@@ -117,6 +119,11 @@ impl FlowTable {
     fn iter_mut(&mut self) -> impl Iterator<Item = (AppId, &mut FlowState)> {
         self.ids.iter().copied().zip(self.flows.iter_mut())
     }
+
+    /// Iterates `(app, flow)` pairs in intern order, read-only.
+    fn iter(&self) -> impl Iterator<Item = (AppId, &FlowState)> {
+        self.ids.iter().copied().zip(self.flows.iter())
+    }
 }
 
 struct HeapEntry {
@@ -161,6 +168,9 @@ pub struct SfqD {
     stats: SchedStats,
     /// Flight-recorder emissions; one branch per site when disabled.
     obs: EventBuf,
+    /// Virtual time of the last broker sync applied, for staleness
+    /// telemetry.
+    last_sync: Option<SimTime>,
 }
 
 impl SfqD {
@@ -176,6 +186,7 @@ impl SfqD {
             next_seq: 0,
             stats: SchedStats::default(),
             obs: EventBuf::new(),
+            last_sync: None,
         }
     }
 
@@ -270,6 +281,7 @@ impl IoScheduler for SfqD {
         let finish = start + req.bytes as f64 / flow.weight;
         flow.finish_tag = finish;
         flow.backlog += 1;
+        flow.backlog_bytes += req.bytes;
 
         if self.obs.enabled() {
             self.obs_submitted(now, &req, delay, start);
@@ -293,7 +305,9 @@ impl IoScheduler for SfqD {
         self.vtime = self.vtime.max(entry.start);
         self.outstanding += 1;
         // O(1): the heap entry carries the dense flow index.
-        self.flows.flows[entry.flow as usize].backlog -= 1;
+        let flow = &mut self.flows.flows[entry.flow as usize];
+        flow.backlog -= 1;
+        flow.backlog_bytes -= entry.req.bytes;
         self.stats.dispatched += 1;
         self.stats.decisions += 1;
         if self.obs.enabled() {
@@ -361,6 +375,7 @@ impl IoScheduler for SfqD {
                 self.obs.push(now, EventKind::BrokerSync { app: app.0, total });
             }
         }
+        self.last_sync = Some(now);
         self.stats.decisions += 1;
     }
 
@@ -378,6 +393,39 @@ impl IoScheduler for SfqD {
 
     fn take_events(&mut self, sink: &mut Vec<(SimTime, EventKind)>) {
         self.obs.drain_into(sink);
+    }
+
+    fn sample_metrics(&self, now: SimTime, out: &mut Vec<ibis_metrics::Sample>) {
+        use ibis_metrics::Sample;
+        out.push(Sample::global("sched_queued", self.queue.len() as f64));
+        out.push(Sample::global("sched_outstanding", self.outstanding as f64));
+        out.push(Sample::global("sfq_depth", self.cfg.depth as f64));
+        out.push(Sample::global("sfq_vtime", self.vtime));
+        if let Some(age) = self.last_sync.map(|t| now.saturating_since(t)) {
+            out.push(Sample::global("sfq_sync_age_s", age.as_secs_f64()));
+        }
+        for (app, flow) in self.flows.iter() {
+            let a = app.0;
+            out.push(Sample::per_flow("sfq_flow_backlog_reqs", a, flow.backlog as f64));
+            out.push(Sample::per_flow(
+                "sfq_flow_backlog_bytes",
+                a,
+                flow.backlog_bytes as f64,
+            ));
+            // How far the flow's newest finish tag runs ahead of virtual
+            // time: the service (in weighted bytes) it is owed or owes.
+            out.push(Sample::per_flow("sfq_flow_tag_lag", a, flow.finish_tag - self.vtime));
+            out.push(Sample::per_flow(
+                "sfq_flow_local_service_bytes",
+                a,
+                flow.local_service as f64,
+            ));
+            out.push(Sample::per_flow(
+                "sfq_flow_foreign_bytes",
+                a,
+                flow.foreign_total as f64,
+            ));
+        }
     }
 }
 
@@ -723,5 +771,36 @@ mod tests {
         assert_eq!(s.backlog(B), 1);
         let _ = s.pop_dispatch(SimTime::ZERO).unwrap();
         assert_eq!(s.backlog(A) + s.backlog(B), 2);
+    }
+
+    #[test]
+    fn sample_metrics_exposes_queue_and_flows() {
+        use ibis_metrics::Sample;
+        let mut s = SfqD::new(SfqConfig { depth: 2, ..Default::default() });
+        s.submit(req(0, A, 100), SimTime::ZERO);
+        s.submit(req(1, A, 300), SimTime::ZERO);
+        s.submit(req(2, B, 50), SimTime::ZERO);
+        let _ = s.pop_dispatch(SimTime::ZERO).unwrap(); // dispatches A's first
+        s.apply_global_service(&[(B, 500)], SimTime::from_secs(3));
+
+        let mut out = Vec::new();
+        s.sample_metrics(SimTime::from_secs(5), &mut out);
+        let find = |name: &str, app: Option<u32>| -> f64 {
+            out.iter()
+                .find(|smp: &&Sample| smp.name == name && smp.app == app)
+                .unwrap_or_else(|| panic!("missing {name} {app:?}"))
+                .value
+        };
+        assert_eq!(find("sched_queued", None), 2.0);
+        assert_eq!(find("sched_outstanding", None), 1.0);
+        assert_eq!(find("sfq_depth", None), 2.0);
+        assert_eq!(find("sfq_flow_backlog_reqs", Some(1)), 1.0);
+        assert_eq!(find("sfq_flow_backlog_bytes", Some(1)), 300.0);
+        assert_eq!(find("sfq_flow_backlog_bytes", Some(2)), 50.0);
+        assert_eq!(find("sfq_flow_foreign_bytes", Some(2)), 500.0);
+        // sync applied at t=3, sampled at t=5 → 2 s stale
+        assert_eq!(find("sfq_sync_age_s", None), 2.0);
+        // A's finish tag (400) runs ahead of vtime (0)
+        assert_eq!(find("sfq_flow_tag_lag", Some(1)), 400.0);
     }
 }

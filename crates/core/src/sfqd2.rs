@@ -157,6 +157,23 @@ impl IoScheduler for SfqD2 {
     fn take_events(&mut self, sink: &mut Vec<(SimTime, ibis_obs::EventKind)>) {
         self.inner.take_events(sink);
     }
+
+    fn sample_metrics(&self, now: SimTime, out: &mut Vec<ibis_metrics::Sample>) {
+        use ibis_metrics::Sample;
+        self.inner.sample_metrics(now, out);
+        out.push(Sample::global("ctl_depth", self.controller.depth_f64()));
+        out.push(Sample::global("ctl_updates", self.controller.updates() as f64));
+        // L(k) / L_ref are NaN until the first control update; the sampler
+        // drops non-finite points, so the series simply starts later.
+        out.push(Sample::global(
+            "ctl_latency_ms",
+            self.controller.last_latency_ms().unwrap_or(f64::NAN),
+        ));
+        out.push(Sample::global(
+            "ctl_ref_ms",
+            self.controller.last_reference_ms().unwrap_or(f64::NAN),
+        ));
+    }
 }
 
 #[cfg(test)]
@@ -258,5 +275,98 @@ mod tests {
     fn tick_period_matches_controller() {
         let s = SfqD2::new(SfqD2Config::default());
         assert_eq!(s.tick_period(), Some(SimDuration::from_secs(1)));
+    }
+
+    #[test]
+    fn sample_metrics_exposes_controller_state() {
+        use ibis_metrics::Sample;
+        let mut s = traced();
+        run_closed_loop(&mut s, 10, SimDuration::from_millis(25));
+        let mut out = Vec::new();
+        s.sample_metrics(SimTime::from_secs(10), &mut out);
+        let get = |name: &str| -> f64 {
+            out.iter()
+                .find(|smp: &&Sample| smp.name == name && smp.app.is_none())
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .value
+        };
+        assert!(get("ctl_depth") >= 1.0);
+        assert!(get("ctl_updates") >= 1.0);
+        assert!(get("ctl_latency_ms").is_finite());
+        assert!((get("ctl_ref_ms") - 50.0).abs() < 1e-9);
+        // inherits the SFQ(D) samples too
+        assert!(out.iter().any(|smp| smp.name == "sfq_vtime"));
+    }
+
+    /// Step-load scenario: the device's per-request latency doubles
+    /// mid-run. The controller must re-settle L(k) within ±10 % of L_ref,
+    /// and the diagnostics module must report a finite settling time.
+    #[test]
+    fn step_load_settles_within_tolerance() {
+        use ibis_metrics::convergence::{
+            diagnose, oscillation_amplitude, ConvergenceConfig,
+        };
+        use ibis_metrics::Sample;
+
+        let mut s = traced();
+        let mut id = 0u64;
+        let mut lat_points: Vec<(f64, f64, f64)> = Vec::new();
+        let mut depths: Vec<f64> = Vec::new();
+        let total_secs = 240u64;
+        for t in 0..total_secs * 10 {
+            let now = SimTime::from_millis(t * 100);
+            // Load step at half time: 12.5 ms/req (equilibrium D = 4)
+            // jumps to 25 ms/req (equilibrium D = 2).
+            let per_req = if t < total_secs * 5 {
+                SimDuration::from_micros(12_500)
+            } else {
+                SimDuration::from_millis(25)
+            };
+            while s.queued() < 20 {
+                s.submit(Request::new(id, A, IoKind::Read, 4 << 20), now);
+                id += 1;
+            }
+            let mut batch = Vec::new();
+            while let Some(r) = s.pop_dispatch(now) {
+                batch.push(r);
+            }
+            let latency = per_req * batch.len().max(1) as u64;
+            for r in batch {
+                s.on_complete(r.app, r.kind, r.bytes, latency, now);
+            }
+            s.on_tick(now);
+            if t % 10 == 0 {
+                // 1 Hz sampling, as the engine's sampler would do
+                let mut out = Vec::new();
+                s.sample_metrics(now, &mut out);
+                let get = |name: &str| {
+                    out.iter().find(|smp: &&Sample| smp.name == name).unwrap().value
+                };
+                let (l, l_ref) = (get("ctl_latency_ms"), get("ctl_ref_ms"));
+                if l.is_finite() && l_ref.is_finite() {
+                    lat_points.push((now.as_secs_f64(), l, l_ref));
+                }
+                depths.push(get("ctl_depth"));
+            }
+        }
+
+        let report = diagnose(&lat_points, &ConvergenceConfig::default());
+        assert!(report.settled, "controller never re-settled: {report:?}");
+        let settle = report.settling_time_s.expect("finite settling time");
+        assert!(
+            settle < (total_secs - 10) as f64,
+            "settling time {settle}s not finite-ish: {report:?}"
+        );
+        assert!(
+            report.steady_state_error_pct < 10.0,
+            "steady-state error too large: {report:?}"
+        );
+        // After settling, D oscillates around the new equilibrium by at
+        // most ~1 slot (the integral term hunts across the rounding edge).
+        let osc = oscillation_amplitude(&depths, 0.2);
+        assert!(osc <= 1.5, "depth oscillation {osc} too large");
+        // And the depth itself ends near the post-step equilibrium of 2.
+        let d_end = *depths.last().unwrap();
+        assert!((1.0..=3.5).contains(&d_end), "final depth {d_end}");
     }
 }

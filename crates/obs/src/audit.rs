@@ -123,12 +123,28 @@ pub struct AuditReport {
     pub violations: Vec<Violation>,
     /// Total violations observed, including beyond the cap.
     pub violation_count: u64,
+    /// Start-tag monotonicity violations, uncapped.
+    pub start_tag_violations: u64,
+    /// Proportional-share violations, uncapped.
+    pub share_violations: u64,
+    /// DSFQ delay-identity violations, uncapped.
+    pub delay_violations: u64,
 }
 
 impl AuditReport {
     /// True when no invariant was violated.
     pub fn passed(&self) -> bool {
         self.violation_count == 0
+    }
+
+    /// Total violations of one invariant, uncapped (unlike
+    /// [`AuditReport::violations`], which stops recording at the cap).
+    pub fn violations_of(&self, invariant: Invariant) -> u64 {
+        match invariant {
+            Invariant::StartTagMonotone => self.start_tag_violations,
+            Invariant::ProportionalShare => self.share_violations,
+            Invariant::DelayIdentity => self.delay_violations,
+        }
     }
 
     /// One-line human summary.
@@ -211,6 +227,11 @@ struct Auditor<'a> {
 impl Auditor<'_> {
     fn violate(&mut self, invariant: Invariant, node: u32, dev: u8, at: SimTime, detail: String) {
         self.report.violation_count += 1;
+        match invariant {
+            Invariant::StartTagMonotone => self.report.start_tag_violations += 1,
+            Invariant::ProportionalShare => self.report.share_violations += 1,
+            Invariant::DelayIdentity => self.report.delay_violations += 1,
+        }
         if self.report.violations.len() < self.cfg.max_violations {
             self.report.violations.push(Violation {
                 invariant,
@@ -472,6 +493,25 @@ mod tests {
         let rep = audit(&rec.finish(meta(&[(1, 1.0)])), &AuditConfig::default());
         assert_eq!(rep.violation_count, 1);
         assert_eq!(rep.violations[0].invariant, Invariant::StartTagMonotone);
+        assert_eq!(rep.violations_of(Invariant::StartTagMonotone), 1);
+        assert_eq!(rep.violations_of(Invariant::ProportionalShare), 0);
+        assert_eq!(rep.violations_of(Invariant::DelayIdentity), 0);
+    }
+
+    #[test]
+    fn per_invariant_counts_are_uncapped() {
+        // 30 regressions with the default cap of 20: the recorded list is
+        // capped, the per-invariant count is not.
+        let mut rec = FlightRecorder::new(1, 256);
+        for i in 0..31u64 {
+            // Alternate 5.0, 4.0, 5.0, … — every 4.0 after a 5.0 regresses.
+            let tag = if i % 2 == 0 { 5.0 } else { 4.0 };
+            push(&mut rec, i, EventKind::Dispatched { io: i, app: 1, start_tag: tag });
+        }
+        let rep = audit(&rec.finish(meta(&[(1, 1.0)])), &AuditConfig::default());
+        assert_eq!(rep.violations_of(Invariant::StartTagMonotone), 15);
+        assert_eq!(rep.violation_count, 15);
+        assert_eq!(rep.violations.len(), 15);
     }
 
     #[test]

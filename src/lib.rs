@@ -23,11 +23,14 @@
 //! * [`cluster`] — the full-cluster simulator and experiment harness.
 //! * [`obs`] — flight-recorder tracing, the fairness auditor, and the
 //!   Chrome trace exporter (`IBIS_OBS=1` to record any run).
+//! * [`metrics`] — sampled time-series telemetry, controller convergence
+//!   diagnostics, and Prometheus/CSV export (`IBIS_METRICS=1`).
 
 pub use ibis_cluster as cluster;
 pub use ibis_core as core;
 pub use ibis_dfs as dfs;
 pub use ibis_mapreduce as mapreduce;
+pub use ibis_metrics as metrics;
 pub use ibis_obs as obs;
 pub use ibis_simcore as simcore;
 pub use ibis_storage as storage;
