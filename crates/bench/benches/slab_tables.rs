@@ -1,0 +1,26 @@
+//! Criterion micro-benchmark of the engine side tables: one interposed
+//! I/O lifecycle (submit → dispatch → complete) through identical SFQ(D)
+//! scheduling, with the engine bookkeeping backed by the generational
+//! slab tables vs the pre-refactor `HashMap` pair. The same harness
+//! backs `bench_sweep`'s `table_micro` record and the `bench_alloc`
+//! allocation gate; this bench adds criterion's statistics on top.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ibis_bench::tables::{HashTables, SlabTables, MICRO_CASE};
+
+fn table_lifecycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group(format!("table_lifecycle/{MICRO_CASE}"));
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("slab", |b| {
+        let mut t = SlabTables::new();
+        b.iter(|| t.step());
+    });
+    group.bench_function("hashmap_reference", |b| {
+        let mut t = HashTables::new();
+        b.iter(|| t.step());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table_lifecycle);
+criterion_main!(benches);

@@ -174,6 +174,11 @@ impl Writer {
         self.value(key, &rendered)
     }
 
+    /// A boolean value.
+    pub fn boolean(&mut self, key: Option<&str>, v: bool) -> &mut Self {
+        self.value(key, if v { "true" } else { "false" })
+    }
+
     /// The accumulated document.
     pub fn finish(self) -> String {
         assert!(self.stack.is_empty(), "unclosed JSON scope");

@@ -7,12 +7,15 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "alloc-count")]
+pub mod alloc;
 pub mod experiments;
 pub mod figs;
 pub mod json;
 pub mod results;
 pub mod scale;
 pub mod table;
+pub mod tables;
 
 pub use results::ResultSink;
 pub use scale::ScaleProfile;

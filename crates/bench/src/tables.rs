@@ -1,0 +1,214 @@
+//! The engine-side-table micro harness: one interposed-I/O lifecycle
+//! (submit → dispatch → complete) through an SFQ(D) scheduler plus the
+//! engine's bookkeeping, with that bookkeeping backed either by the
+//! generational slab tables the engine uses today or by a faithful
+//! replica of the pre-slab `HashMap` tables.
+//!
+//! Both sides drive the identical scheduler on the identical request
+//! sequence, so the measured difference is exactly what the slab
+//! refactor changed: the keyed lookups (slab index vs hash+probe), the
+//! merged io/inflight entry (one table vs two), and the completion
+//! buffer (reused scratch vs a fresh `Vec` per pump — what the old
+//! engine allocated on every dispatch/completion).
+//!
+//! Used by the `slab_tables` criterion bench, `bench_sweep`'s
+//! `table_micro` record, and the `bench_alloc` allocation-regression bin.
+
+use ibis_core::prelude::*;
+use ibis_core::slab::{Arena, IoKey, Slab, SlabKey};
+use ibis_simcore::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The benchmark case both table backends run.
+pub const MICRO_CASE: &str = "sfq_d8_lifecycle_8flows";
+/// Flows (applications) in the micro case.
+pub const MICRO_FLOWS: u32 = 8;
+/// Scheduler dispatch depth in the micro case.
+pub const MICRO_DEPTH: u32 = 8;
+
+const MICRO_BYTES: u64 = 4 << 20;
+const MICRO_LATENCY: SimDuration = SimDuration::from_millis(5);
+
+fn micro_sched() -> Box<dyn IoScheduler + Send> {
+    let mut sched = (Policy::SfqD { depth: MICRO_DEPTH }).build();
+    for f in 0..MICRO_FLOWS {
+        sched.set_weight(AppId(f), 1.0 + f as f64);
+    }
+    sched
+}
+
+/// Everything the engine remembers about an in-flight I/O — the slab
+/// side's single merged entry.
+struct Ctx {
+    cont: u64,
+    app: AppId,
+    kind: IoKind,
+    bytes: u64,
+    dispatched: SimTime,
+}
+
+/// The post-refactor bookkeeping: one generational slab entry per I/O
+/// and a reused completion scratch. Steady-state `step` performs zero
+/// heap allocations once the slab and scheduler are warm.
+pub struct SlabTables {
+    sched: Box<dyn IoScheduler + Send>,
+    table: Slab<IoKey, Ctx>,
+    started: Vec<u64>,
+    seq: u64,
+}
+
+impl Default for SlabTables {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SlabTables {
+    /// A fresh harness on the micro case.
+    pub fn new() -> Self {
+        SlabTables {
+            sched: micro_sched(),
+            table: Slab::default(),
+            started: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// One full request lifecycle.
+    pub fn step(&mut self) {
+        let app = AppId(self.seq as u32 % MICRO_FLOWS);
+        let key = self.table.insert(Ctx {
+            cont: self.seq,
+            app,
+            kind: IoKind::Read,
+            bytes: MICRO_BYTES,
+            dispatched: SimTime::ZERO,
+        });
+        self.seq += 1;
+        self.sched
+            .submit(Request::new(key.encode(), app, IoKind::Read, MICRO_BYTES), SimTime::ZERO);
+        let r = self.sched.pop_dispatch(SimTime::ZERO).expect("dispatch");
+        self.table
+            .get_mut(IoKey::decode(r.id))
+            .expect("ctx")
+            .dispatched = SimTime::ZERO;
+        self.started.clear();
+        self.started.push(r.id);
+        for i in 0..self.started.len() {
+            let ctx = self
+                .table
+                .remove(IoKey::decode(self.started[i]))
+                .expect("ctx");
+            self.sched
+                .on_complete(ctx.app, ctx.kind, ctx.bytes, MICRO_LATENCY, SimTime::ZERO);
+            black_box(ctx.cont);
+        }
+    }
+}
+
+/// What the pre-slab engine kept per dispatched I/O in the device
+/// queue's `inflight` map.
+struct Inflight {
+    app: AppId,
+    kind: IoKind,
+    bytes: u64,
+    dispatched: SimTime,
+}
+
+/// The pre-refactor bookkeeping, replicated faithfully: an `io_table`
+/// hash map for the continuation, a second `inflight` hash map for
+/// routing/timing (two lookups per completion), and a fresh `Vec` per
+/// pump — the old engine's `let mut started = Vec::new()`.
+pub struct HashTables {
+    sched: Box<dyn IoScheduler + Send>,
+    io_table: HashMap<u64, u64>,
+    inflight: HashMap<u64, Inflight>,
+    next_io: u64,
+}
+
+impl Default for HashTables {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HashTables {
+    /// A fresh harness on the micro case.
+    pub fn new() -> Self {
+        HashTables {
+            sched: micro_sched(),
+            io_table: HashMap::new(),
+            inflight: HashMap::new(),
+            next_io: 0,
+        }
+    }
+
+    /// One full request lifecycle.
+    pub fn step(&mut self) {
+        let id = self.next_io;
+        self.next_io += 1;
+        let app = AppId(id as u32 % MICRO_FLOWS);
+        self.io_table.insert(id, id);
+        self.sched
+            .submit(Request::new(id, app, IoKind::Read, MICRO_BYTES), SimTime::ZERO);
+        let r = self.sched.pop_dispatch(SimTime::ZERO).expect("dispatch");
+        self.inflight.insert(
+            r.id,
+            Inflight {
+                app: r.app,
+                kind: r.kind,
+                bytes: r.bytes,
+                dispatched: SimTime::ZERO,
+            },
+        );
+        let mut started = Vec::new();
+        started.push(r.id);
+        for id in started {
+            let inf = self.inflight.remove(&id).expect("inflight");
+            let _ = inf.dispatched;
+            self.sched
+                .on_complete(inf.app, inf.kind, inf.bytes, MICRO_LATENCY, SimTime::ZERO);
+            let cont = self.io_table.remove(&id).expect("ctx");
+            black_box(cont);
+        }
+    }
+}
+
+/// Best-of-samples ns/op for one lifecycle closure (the protocol every
+/// scheduler micro in this crate uses: warm up one full batch, then keep
+/// the fastest of 7 timed batches).
+pub fn time_lifecycle(mut op: impl FnMut()) -> f64 {
+    const BATCH: u32 = 200_000;
+    for _ in 0..BATCH {
+        op(); // warmup
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..7 {
+        let t = Instant::now();
+        for _ in 0..BATCH {
+            op();
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / BATCH as f64);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_backends_run_the_lifecycle() {
+        let mut slab = SlabTables::new();
+        let mut hash = HashTables::new();
+        for _ in 0..1000 {
+            slab.step();
+            hash.step();
+        }
+        // Steady state leaves no residue in the tables.
+        assert!(slab.table.is_empty());
+        assert!(hash.io_table.is_empty() && hash.inflight.is_empty());
+    }
+}

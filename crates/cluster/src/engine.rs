@@ -22,7 +22,9 @@
 
 use crate::config::{ClusterConfig, Experiment, Workload};
 use crate::report::{JobSummary, QuerySummary, RunReport};
+use ibis_core::intern::{Symbol, SymbolTable};
 use ibis_core::scheduler::{IoScheduler, Policy};
+use ibis_core::slab::{Arena, ArenaKind, ChainKey, CompKey, IoKey, SlabArenas, SlabKey, TaskKey, XferKey};
 use ibis_core::{AppId, IoClass, IoKind, Request, SchedulingBroker, SfqD2Config};
 use ibis_dfs::{BlockInfo, Namenode, NamenodeConfig, NodeId};
 use ibis_mapreduce::job::JobEvent;
@@ -64,7 +66,7 @@ enum Event {
     /// Submit the pending workload with this index.
     Arrival(usize),
     /// A device finished servicing request `io`.
-    DeviceDone { node: u32, dev: usize, io: u64 },
+    DeviceDone { node: u32, dev: usize, io: IoKey },
     /// A node's ingress link timer.
     LinkTimer { node: u32, epoch: u64 },
     /// Periodic scheduler housekeeping on one device queue.
@@ -72,7 +74,7 @@ enum Event {
     /// Periodic broker synchronisation (§5).
     BrokerSync,
     /// A task finished a compute step.
-    ComputeDone { slot: u64 },
+    ComputeDone { slot: TaskKey },
     /// Metrics sampling tick. A pure observer: it is excluded from the
     /// event/end-time accounting so enabling telemetry cannot change the
     /// reported `events` or `makespan`.
@@ -103,18 +105,20 @@ enum IoCat {
     HWrite,
 }
 
-/// What to do when an async operation completes.
-#[derive(Debug, Clone)]
+/// What to do when an async operation completes. `Copy`: continuations
+/// carry only typed arena keys and scalars, so queuing and re-queuing
+/// them (pipeline chains) never touches the heap.
+#[derive(Debug, Clone, Copy)]
 enum Cont {
     /// An async task I/O of the given category completed.
-    AsyncDone { slot: u64, cat: IoCat },
+    AsyncDone { slot: TaskKey, cat: IoCat },
     /// Remote-read disk part done: stream the data to the reader.
-    RemoteReadDisk { slot: u64, bytes: u64 },
+    RemoteReadDisk { slot: TaskKey, bytes: u64 },
     /// Shuffle pull disk part done: stream to the reducer (or complete if
     /// the map output is local).
-    PullDisk { slot: u64, from: u32, bytes: u64 },
+    PullDisk { slot: TaskKey, from: u32, bytes: u64 },
     /// Shuffle pull fully delivered.
-    PullDone { slot: u64 },
+    PullDone { slot: TaskKey },
     /// One replica of a pipelined HDFS write is durable. When the write
     /// happened at a remote replica, `chain` identifies the (writer task,
     /// target node) pipeline to release — HDFS streams a block over one
@@ -122,13 +126,13 @@ enum Cont {
     /// (the paper's §3: storage endpoint control indirectly throttles the
     /// network).
     WritePart {
-        comp: u64,
-        chain: Option<(u64, u32)>,
+        comp: CompKey,
+        chain: Option<(TaskKey, u32)>,
     },
     /// Pipeline transfer delivered: write the replica at `target`.
     ReplicaXfer {
-        comp: u64,
-        slot: u64,
+        comp: CompKey,
+        slot: TaskKey,
         target: u32,
         bytes: u64,
         stream: u64,
@@ -136,21 +140,9 @@ enum Cont {
     },
 }
 
-/// Everything the engine must remember about a dispatched I/O until the
-/// device completes it. One map entry per in-flight request (merged
-/// routing + timing state: completion does a single lookup).
-struct InflightIo {
-    app: AppId,
-    kind: IoKind,
-    bytes: u64,
-    dispatched: SimTime,
-}
-
 struct DeviceQueue {
     device: DeviceModel,
     sched: Box<dyn IoScheduler + Send>,
-    /// io id → routing and dispatch-time state for completion.
-    inflight: HashMap<u64, InflightIo>,
 }
 
 struct Node {
@@ -186,6 +178,10 @@ struct RunningTask {
     blocked_on: Option<IoCat>,
     /// The plan is exhausted; waiting for in-flight I/O to drain.
     draining: bool,
+    /// Open HDFS pipeline chains of this (writer) task, one per remote
+    /// replica node. At most `replication − 1` entries, so a linear scan
+    /// beats any map.
+    open_chains: Vec<(u32, ChainKey)>,
 }
 
 fn cat_idx(cat: IoCat) -> usize {
@@ -196,13 +192,23 @@ fn cat_idx(cat: IoCat) -> usize {
     }
 }
 
+/// Everything the engine must remember about an interposed I/O from
+/// submission until the device completes it: the continuation plus the
+/// routing and dispatch-time state. One arena entry per I/O (completion
+/// does a single lookup).
 struct IoCtx {
     cont: Cont,
+    app: AppId,
+    kind: IoKind,
+    bytes: u64,
+    /// Set when the scheduler dispatches the request to the device; until
+    /// then it holds the submission instant.
+    dispatched: SimTime,
 }
 
 struct CompState {
     remaining: u32,
-    slot: u64,
+    slot: TaskKey,
 }
 
 /// One HDFS block-pipeline chain (writer task → replica node).
@@ -224,7 +230,12 @@ enum Pending {
 }
 
 /// The simulator. Construct with [`Sim::new`], run with [`Sim::run`].
-pub struct Sim {
+///
+/// Generic over the side-table backend: production code uses the default
+/// [`SlabArenas`] (dense generational slabs, zero allocations per event
+/// at steady state); the determinism tests run the identical engine over
+/// `HashArenas` and assert a byte-identical [`RunReport`] (DESIGN.md §12).
+pub struct Sim<A: ArenaKind = SlabArenas> {
     cfg: ClusterConfig,
     queue: EventQueue<Event>,
     nodes: Vec<Node>,
@@ -237,21 +248,33 @@ pub struct Sim {
     brokers: [SchedulingBroker; 2],
     pending: Vec<Option<Pending>>,
     submitted: usize,
-    /// first-stage job id → query name, for workflow reporting.
-    queries: Vec<(JobId, String)>,
-    tasks: HashMap<u64, RunningTask>,
-    next_slot: u64,
-    next_io: u64,
-    io_table: HashMap<u64, IoCtx>,
-    transfers: HashMap<u64, Cont>,
-    comps: HashMap<u64, CompState>,
-    /// HDFS pipeline state per (writer slot, replica node): one TCP chain
-    /// per block pipeline — one chunk on the wire at a time, at most
-    /// `pipeline_window` chunks unacknowledged (in flight or waiting at
-    /// the downstream disk). A stalled downstream write back-pressures the
-    /// sender (§3).
-    chains: HashMap<(u64, u32), Chain>,
-    gather_waiters: HashMap<JobId, Vec<u64>>,
+    /// Interned workload names; resolved only at report-building time.
+    symbols: SymbolTable,
+    /// first-stage job id → interned query name, for workflow reporting.
+    queries: Vec<(JobId, Symbol)>,
+    tasks: A::Arena<TaskKey, RunningTask>,
+    io_table: A::Arena<IoKey, IoCtx>,
+    transfers: A::Arena<XferKey, Cont>,
+    comps: A::Arena<CompKey, CompState>,
+    /// HDFS pipeline state, one entry per open (writer task, replica
+    /// node) chain — addressed through the writer's
+    /// `RunningTask::open_chains`: one TCP chain per block pipeline — one
+    /// chunk on the wire at a time, at most `pipeline_window` chunks
+    /// unacknowledged (in flight or waiting at the downstream disk). A
+    /// stalled downstream write back-pressures the sender (§3).
+    chains: A::Arena<ChainKey, Chain>,
+    /// Retired [`Chain`] shells kept to recycle their chunk deques.
+    chain_pool: Vec<Chain>,
+    /// Reducers waiting for more map outputs, indexed by `JobId` (dense:
+    /// job ids are assigned sequentially). Slots are cleared, not
+    /// removed, when a job finishes, so the per-job vectors are reused.
+    gather_waiters: Vec<Vec<TaskKey>>,
+    /// Reused snapshot buffer for `wake_gatherers`.
+    waiter_scratch: Vec<TaskKey>,
+    /// Reused device-completion buffer for the dispatch/completion paths.
+    started_scratch: Vec<ibis_storage::Started>,
+    /// Reused sink for finished link-transfer ids.
+    link_scratch: Vec<u64>,
     // metrics
     app_read: HashMap<AppId, TimeSeries>,
     app_write: HashMap<AppId, TimeSeries>,
@@ -274,7 +297,7 @@ pub struct Sim {
     metrics: Option<MetricsState>,
 }
 
-impl Sim {
+impl<A: ArenaKind> Sim<A> {
     /// Builds the simulator for an experiment: creates nodes, devices and
     /// schedulers, registers every input file with the namenode, and
     /// schedules all workload arrivals.
@@ -338,12 +361,10 @@ impl Sim {
                         DeviceQueue {
                             device: cfg.hdfs_device.build(n as u64),
                             sched: build_sched(&cfg.policy, &hdfs_refs, trace),
-                            inflight: HashMap::new(),
                         },
                         DeviceQueue {
                             device: cfg.scratch_device.build(1000 + n as u64),
                             sched: build_sched(&cfg.policy, &scratch_refs, false),
-                            inflight: HashMap::new(),
                         },
                     ],
                     rx: PsLink::new(cfg.nic_bw),
@@ -448,15 +469,18 @@ impl Sim {
             brokers: [SchedulingBroker::new(), SchedulingBroker::new()],
             pending,
             submitted: 0,
+            symbols: SymbolTable::new(),
             queries: Vec::new(),
-            tasks: HashMap::new(),
-            next_slot: 0,
-            next_io: 0,
-            io_table: HashMap::new(),
-            transfers: HashMap::new(),
-            comps: HashMap::new(),
-            chains: HashMap::new(),
-            gather_waiters: HashMap::new(),
+            tasks: Default::default(),
+            io_table: Default::default(),
+            transfers: Default::default(),
+            comps: Default::default(),
+            chains: Default::default(),
+            chain_pool: Vec::new(),
+            gather_waiters: Vec::new(),
+            waiter_scratch: Vec::new(),
+            started_scratch: Vec::new(),
+            link_scratch: Vec::new(),
             app_read: HashMap::new(),
             app_write: HashMap::new(),
             app_latency: HashMap::new(),
@@ -613,14 +637,13 @@ impl Sim {
                 self.set_app_weight(id.app(), weight);
             }
             Pending::Query(q) => {
-                let first = q.stages.first().expect("query has stages");
+                let HiveQuery { name, stages } = q;
+                let first = stages.first().expect("query has stages");
                 let blocks = self.resolve_input(first);
                 let weight = first.io_weight;
-                let name = q.name.clone();
-                let id = self
-                    .job_mgr
-                    .submit_workflow(&q.name, q.stages.clone(), blocks, now);
-                self.queries.push((id, name));
+                let sym = self.symbols.intern(&name);
+                let id = self.job_mgr.submit_workflow(&name, stages, blocks, now);
+                self.queries.push((id, sym));
                 self.set_app_weight(id.app(), weight);
             }
         }
@@ -629,14 +652,17 @@ impl Sim {
 
     fn resolve_input(&mut self, spec: &ibis_mapreduce::JobSpec) -> Vec<BlockInfo> {
         match &spec.input {
-            ibis_mapreduce::InputSpec::DfsFile { name, .. } => self
-                .namenode
-                .file_blocks(name)
-                .unwrap_or_else(|| panic!("input file {name} not registered"))
-                .to_vec()
-                .iter()
-                .map(|&b| self.namenode.locate(b).expect("block exists").clone())
-                .collect(),
+            ibis_mapreduce::InputSpec::DfsFile { name, .. } => {
+                // Copy the ids out first: `locate` re-borrows the namenode.
+                let ids = self
+                    .namenode
+                    .file_blocks(name)
+                    .unwrap_or_else(|| panic!("input file {name} not registered"))
+                    .to_vec();
+                ids.iter()
+                    .map(|&b| self.namenode.locate(b).expect("block exists").clone())
+                    .collect()
+            }
             _ => Vec::new(),
         }
     }
@@ -679,27 +705,23 @@ impl Sim {
                     let node = &mut self.nodes[n];
                     node.free_cores -= 1;
                     node.free_mem -= assignment.memory;
-                    let slot = self.next_slot;
-                    self.next_slot += 1;
                     let read_window = self
                         .job_mgr
                         .job(assignment.task.job)
                         .and_then(|j| j.spec.read_ahead)
                         .unwrap_or(self.cfg.read_window);
-                    self.tasks.insert(
-                        slot,
-                        RunningTask {
-                            assignment,
-                            node: n as u32,
-                            step_idx: 0,
-                            gather: None,
-                            block: None,
-                            inflight: [0; 3],
-                            read_window,
-                            blocked_on: None,
-                            draining: false,
-                        },
-                    );
+                    let slot = self.tasks.insert(RunningTask {
+                        assignment,
+                        node: n as u32,
+                        step_idx: 0,
+                        gather: None,
+                        block: None,
+                        inflight: [0; 3],
+                        read_window,
+                        blocked_on: None,
+                        draining: false,
+                        open_chains: Vec::new(),
+                    });
                     progress = true;
                     self.advance(slot, now);
                 }
@@ -712,9 +734,9 @@ impl Sim {
 
     // ---- task driver -----------------------------------------------------
 
-    fn advance(&mut self, slot: u64, now: SimTime) {
+    fn advance(&mut self, slot: TaskKey, now: SimTime) {
         loop {
-            let Some(task) = self.tasks.get(&slot) else {
+            let Some(task) = self.tasks.get(slot) else {
                 return;
             };
             let idx = task.step_idx;
@@ -722,7 +744,7 @@ impl Sim {
                 if task.inflight.iter().any(|&n| n > 0) {
                     // Close-time flush: the task ends only once every
                     // pipelined read/spill/HDFS chunk has landed.
-                    self.tasks.get_mut(&slot).expect("exists").draining = true;
+                    self.tasks.get_mut(slot).expect("exists").draining = true;
                     return;
                 }
                 self.finish_task(slot, now);
@@ -732,7 +754,7 @@ impl Sim {
             let job = task.assignment.task.job;
             let app = job.app();
             let step = task.assignment.plan.steps[idx].clone();
-            self.tasks.get_mut(&slot).expect("exists").step_idx += 1;
+            self.tasks.get_mut(slot).expect("exists").step_idx += 1;
 
             match step {
                 Step::Compute(d) => {
@@ -815,7 +837,7 @@ impl Sim {
                         .job(job)
                         .map(|j| j.maps_total())
                         .unwrap_or(0);
-                    self.tasks.get_mut(&slot).expect("exists").gather = Some(GatherState {
+                    self.tasks.get_mut(slot).expect("exists").gather = Some(GatherState {
                         job,
                         fetched: 0,
                         active: 0,
@@ -823,7 +845,11 @@ impl Sim {
                         fetchers: fetchers.max(1),
                         maps_total,
                     });
-                    self.gather_waiters.entry(job).or_default().push(slot);
+                    let jidx = job.0 as usize;
+                    if self.gather_waiters.len() <= jidx {
+                        self.gather_waiters.resize_with(jidx + 1, Vec::new);
+                    }
+                    self.gather_waiters[jidx].push(slot);
                     if self.pump_gather(slot, now) {
                         continue;
                     }
@@ -833,8 +859,12 @@ impl Sim {
         }
     }
 
-    fn finish_task(&mut self, slot: u64, now: SimTime) {
-        let mut task = self.tasks.remove(&slot).expect("finishing unknown task");
+    fn finish_task(&mut self, slot: TaskKey, now: SimTime) {
+        let mut task = self.tasks.remove(slot).expect("finishing unknown task");
+        debug_assert!(
+            task.open_chains.is_empty(),
+            "task finished with open pipeline chains"
+        );
         // Close any open output block with its true size.
         if let Some((mut info, accum)) = task.block.take() {
             info.bytes = accum;
@@ -856,7 +886,9 @@ impl Sim {
                     for b in &mut self.brokers {
                         b.retire(job.app());
                     }
-                    self.gather_waiters.remove(&job);
+                    if let Some(w) = self.gather_waiters.get_mut(job.0 as usize) {
+                        w.clear();
+                    }
                 }
                 JobEvent::StageSubmitted { job, .. } => {
                     let weight = self
@@ -875,22 +907,31 @@ impl Sim {
     // ---- shuffle ----------------------------------------------------------
 
     fn wake_gatherers(&mut self, job: JobId, now: SimTime) {
-        let waiters = self
-            .gather_waiters
-            .get(&job).cloned()
-            .unwrap_or_default();
-        for slot in waiters {
+        let Some(waiters) = self.gather_waiters.get(job.0 as usize) else {
+            return;
+        };
+        if waiters.is_empty() {
+            return;
+        }
+        // Snapshot into the reused scratch: `pump_gather` edits the live
+        // list while we iterate (same semantics as cloning it, without
+        // the per-wake allocation).
+        let mut snapshot = std::mem::take(&mut self.waiter_scratch);
+        snapshot.clear();
+        snapshot.extend_from_slice(waiters);
+        for &slot in &snapshot {
             if self.pump_gather(slot, now) {
                 self.advance(slot, now);
             }
         }
+        self.waiter_scratch = snapshot;
     }
 
     /// Starts as many pulls as the fetcher bound allows. Returns true when
     /// the gather completed (and was cleared).
-    fn pump_gather(&mut self, slot: u64, now: SimTime) -> bool {
+    fn pump_gather(&mut self, slot: TaskKey, now: SimTime) -> bool {
         loop {
-            let Some(task) = self.tasks.get_mut(&slot) else {
+            let Some(task) = self.tasks.get_mut(slot) else {
                 return false;
             };
             let node = task.node;
@@ -902,7 +943,7 @@ impl Sim {
             if g.done >= g.maps_total {
                 task.gather = None;
                 let job = task.assignment.task.job;
-                if let Some(w) = self.gather_waiters.get_mut(&job) {
+                if let Some(w) = self.gather_waiters.get_mut(job.0 as usize) {
                     w.retain(|&s| s != slot);
                 }
                 return true;
@@ -920,7 +961,7 @@ impl Sim {
             {
                 let g = self
                     .tasks
-                    .get_mut(&slot)
+                    .get_mut(slot)
                     .and_then(|t| t.gather.as_mut())
                     .expect("gather state");
                 g.fetched += 1;
@@ -950,8 +991,8 @@ impl Sim {
         }
     }
 
-    fn pull_done(&mut self, slot: u64, now: SimTime) {
-        if let Some(g) = self.tasks.get_mut(&slot).and_then(|t| t.gather.as_mut()) {
+    fn pull_done(&mut self, slot: TaskKey, now: SimTime) {
+        if let Some(g) = self.tasks.get_mut(slot).and_then(|t| t.gather.as_mut()) {
             g.active -= 1;
             g.done += 1;
         }
@@ -963,15 +1004,15 @@ impl Sim {
     /// Charges one async-I/O credit of `cat` to the task. Returns true if
     /// the task may keep executing (window not yet full), false if it must
     /// pause until a completion frees the window.
-    fn charge_credit(&mut self, slot: u64, cat: IoCat) -> bool {
-        let t = self.tasks.get_mut(&slot).expect("task exists");
+    fn charge_credit(&mut self, slot: TaskKey, cat: IoCat) -> bool {
+        let t = self.tasks.get_mut(slot).expect("task exists");
         let window = match cat {
             IoCat::Read => t.read_window,
             IoCat::IWrite => self.cfg.intermediate_write_window,
             IoCat::HWrite => self.cfg.hdfs_write_window,
         }
         .max(1);
-        let t = self.tasks.get_mut(&slot).expect("task exists");
+        let t = self.tasks.get_mut(slot).expect("task exists");
         t.inflight[cat_idx(cat)] += 1;
         if t.inflight[cat_idx(cat)] < window {
             true
@@ -983,8 +1024,8 @@ impl Sim {
 
     /// An async task I/O completed: release the credit, resume the task if
     /// it was paused on this category, or finish it if it was draining.
-    fn async_done(&mut self, slot: u64, cat: IoCat, now: SimTime) {
-        let Some(t) = self.tasks.get_mut(&slot) else {
+    fn async_done(&mut self, slot: TaskKey, cat: IoCat, now: SimTime) {
+        let Some(t) = self.tasks.get_mut(slot) else {
             return;
         };
         let n = &mut t.inflight[cat_idx(cat)];
@@ -1000,19 +1041,22 @@ impl Sim {
 
     // ---- HDFS write pipeline ----------------------------------------------
 
-    fn hdfs_write(&mut self, slot: u64, bytes: u64, stream: u64, new_block: bool, now: SimTime) {
+    fn hdfs_write(&mut self, slot: TaskKey, bytes: u64, stream: u64, new_block: bool, now: SimTime) {
+        /// Replication factors are small (the paper uses 3); a fixed
+        /// stack buffer replaces the per-chunk `replicas.clone()`.
+        const MAX_REPLICAS: usize = 16;
         let (node, app, job) = {
-            let t = self.tasks.get(&slot).expect("task exists");
+            let t = self.tasks.get(slot).expect("task exists");
             (t.node, t.assignment.task.job.app(), t.assignment.task.job)
         };
-        if new_block || self.tasks[&slot].block.is_none() {
+        if new_block || self.tasks.get(slot).expect("t").block.is_none() {
             // Close the previous block with its true size, open a new one.
-            if let Some((mut info, accum)) = self.tasks.get_mut(&slot).expect("t").block.take() {
+            if let Some((mut info, accum)) = self.tasks.get_mut(slot).expect("t").block.take() {
                 info.bytes = accum;
                 self.job_mgr.add_output_block(job, info);
             }
             let info = self.namenode.allocate_block(NodeId(node), self.cfg.block_size);
-            self.tasks.get_mut(&slot).expect("t").block = Some((info, 0));
+            self.tasks.get_mut(slot).expect("t").block = Some((info, 0));
             if let Some(rec) = self.recorder.as_mut() {
                 let mut placed = Vec::new();
                 self.namenode.take_placements(&mut placed);
@@ -1026,22 +1070,21 @@ impl Sim {
                 }
             }
         }
-        let replicas = {
-            let t = self.tasks.get_mut(&slot).expect("t");
+        let mut replicas = [NodeId(0); MAX_REPLICAS];
+        let nreps = {
+            let t = self.tasks.get_mut(slot).expect("t");
             let (info, accum) = t.block.as_mut().expect("block open");
             *accum += bytes;
-            info.replicas.clone()
+            let n = info.replicas.len();
+            assert!(n <= MAX_REPLICAS, "replication {n} exceeds pipeline buffer");
+            replicas[..n].copy_from_slice(&info.replicas);
+            n
         };
 
-        let comp = self.next_io;
-        self.next_io += 1;
-        self.comps.insert(
-            comp,
-            CompState {
-                remaining: replicas.len() as u32,
-                slot,
-            },
-        );
+        let comp = self.comps.insert(CompState {
+            remaining: nreps as u32,
+            slot,
+        });
         // Local (primary) replica write.
         self.issue_io(
             node,
@@ -1056,7 +1099,7 @@ impl Sim {
         // Remote replicas: pipeline transfer, then write on arrival. One
         // chunk at a time per (writer, replica) chain — the HDFS pipeline
         // is a single streamed TCP chain, not parallel flows.
-        for &r in replicas.iter().skip(1) {
+        for &r in replicas[..nreps].iter().skip(1) {
             debug_assert_ne!(r.0, node, "pipeline replica equals writer");
             let replica_stream = stream | ((r.0 as u64 + 1) << 48);
             let cont = Cont::ReplicaXfer {
@@ -1085,12 +1128,16 @@ impl Sim {
         cont: Cont,
         now: SimTime,
     ) {
-        let id = self.next_io;
-        self.next_io += 1;
-        self.io_table.insert(id, IoCtx { cont });
+        let key = self.io_table.insert(IoCtx {
+            cont,
+            app,
+            kind,
+            bytes,
+            dispatched: now,
+        });
         let dev = dev_of(class);
         let req = Request {
-            id,
+            id: key.encode(),
             app,
             class,
             kind,
@@ -1103,18 +1150,15 @@ impl Sim {
     }
 
     fn pump_dispatch(&mut self, node: u32, dev: usize, now: SimTime) {
+        let mut started = std::mem::take(&mut self.started_scratch);
         let dq = &mut self.nodes[node as usize].devs[dev];
-        let mut started = Vec::new();
         while let Some(req) = dq.sched.pop_dispatch(now) {
-            dq.inflight.insert(
-                req.id,
-                InflightIo {
-                    app: req.app,
-                    kind: req.kind,
-                    bytes: req.bytes,
-                    dispatched: now,
-                },
-            );
+            // Stamp the dispatch instant: completion latency is measured
+            // from here, not from submission.
+            self.io_table
+                .get_mut(IoKey::decode(req.id))
+                .expect("dispatched io has ctx")
+                .dispatched = now;
             dq.device.submit(
                 DeviceRequest {
                     id: req.id,
@@ -1126,33 +1170,37 @@ impl Sim {
                 &mut started,
             );
         }
-        for s in started {
+        for s in &started {
             self.queue.push(
                 s.complete_at,
                 Event::DeviceDone {
                     node,
                     dev,
-                    io: s.id,
+                    io: IoKey::decode(s.id),
                 },
             );
         }
+        started.clear();
+        self.started_scratch = started;
         if self.recorder.is_some() {
             self.drain_sched_obs(node, dev);
         }
     }
 
-    fn device_done(&mut self, node: u32, dev: usize, io: u64, now: SimTime) {
-        let dq = &mut self.nodes[node as usize].devs[dev];
-        let InflightIo {
+    fn device_done(&mut self, node: u32, dev: usize, io: IoKey, now: SimTime) {
+        // One arena lookup covers routing, timing, and the continuation.
+        let IoCtx {
+            cont,
             app,
             kind,
             bytes,
             dispatched,
-        } = dq
-            .inflight
-            .remove(&io)
+        } = self
+            .io_table
+            .remove(io)
             .expect("device completion for unknown io");
         let latency = now - dispatched;
+        let dq = &mut self.nodes[node as usize].devs[dev];
         dq.sched.on_complete(app, kind, bytes, latency, now);
         if let Some(m) = self.metrics.as_mut() {
             m.registry
@@ -1162,26 +1210,29 @@ impl Sim {
         // The engine emits Completed itself: it has the full request
         // context here and covers every policy, including Native.
         if self.recorder.is_some() {
-            self.record_completion(node, dev, io, app, kind, bytes, latency, now);
+            self.record_completion(node, dev, io.encode(), app, kind, bytes, latency, now);
         }
         self.app_latency
             .entry(app)
             .or_default()
             .record(latency.as_nanos());
-        let mut started = Vec::new();
+        let mut started = std::mem::take(&mut self.started_scratch);
         // Re-borrow: `record_completion` above needed `&mut self`.
         let dq = &mut self.nodes[node as usize].devs[dev];
-        dq.device.on_complete(io, now, &mut started);
-        for s in started {
+        dq.device.on_complete(io.encode(), now, &mut started);
+        for s in &started {
             self.queue.push(
                 s.complete_at,
                 Event::DeviceDone {
                     node,
                     dev,
-                    io: s.id,
+                    io: IoKey::decode(s.id),
                 },
             );
         }
+        // Return the scratch before `pump_dispatch` takes it again.
+        started.clear();
+        self.started_scratch = started;
         self.pump_dispatch(node, dev, now);
 
         // Throughput accounting (storage bytes, as in the paper's figures).
@@ -1202,16 +1253,40 @@ impl Sim {
             }
         }
 
-        let ctx = self.io_table.remove(&io).expect("io ctx");
-        self.dispatch_cont(ctx.cont, now);
+        self.dispatch_cont(cont, now);
+    }
+
+    /// The open chain of `(slot, to_node)`, resolved through the writer
+    /// task's `open_chains` (≤ replication−1 entries: a scan, no map).
+    fn chain_key(&self, slot: TaskKey, to_node: u32) -> Option<ChainKey> {
+        self.tasks
+            .get(slot)?
+            .open_chains
+            .iter()
+            .find(|&&(n, _)| n == to_node)
+            .map(|&(_, k)| k)
     }
 
     /// Enqueues one chunk on the per-(writer, replica) pipeline chain and
     /// pumps it.
-    fn chain_transfer(&mut self, slot: u64, to_node: u32, bytes: u64, cont: Cont, now: SimTime) {
+    fn chain_transfer(&mut self, slot: TaskKey, to_node: u32, bytes: u64, cont: Cont, now: SimTime) {
+        let key = match self.chain_key(slot, to_node) {
+            Some(k) => k,
+            None => {
+                // Recycle a retired chain shell (keeps its deque buffer).
+                let chain = self.chain_pool.pop().unwrap_or_default();
+                let k = self.chains.insert(chain);
+                self.tasks
+                    .get_mut(slot)
+                    .expect("chain writer exists")
+                    .open_chains
+                    .push((to_node, k));
+                k
+            }
+        };
         self.chains
-            .entry((slot, to_node))
-            .or_default()
+            .get_mut(key)
+            .expect("open chain")
             .queued
             .push_back((bytes, cont));
         self.pump_chain(slot, to_node, now);
@@ -1219,18 +1294,23 @@ impl Sim {
 
     /// Starts the next queued transfer if the wire is free and the ack
     /// window has room.
-    fn pump_chain(&mut self, slot: u64, to_node: u32, now: SimTime) {
+    fn pump_chain(&mut self, slot: TaskKey, to_node: u32, now: SimTime) {
         let window = self.cfg.pipeline_window.max(1);
-        let key = (slot, to_node);
-        let Some(chain) = self.chains.get_mut(&key) else {
+        let Some(key) = self.chain_key(slot, to_node) else {
             return;
         };
+        let chain = self.chains.get_mut(key).expect("open chain");
         if chain.wire_busy || chain.unacked >= window {
             return;
         }
         let Some((bytes, cont)) = chain.queued.pop_front() else {
             if chain.unacked == 0 {
-                self.chains.remove(&key);
+                let chain = self.chains.remove(key).expect("open chain");
+                debug_assert!(chain.queued.is_empty() && !chain.wire_busy);
+                self.chain_pool.push(chain);
+                if let Some(t) = self.tasks.get_mut(slot) {
+                    t.open_chains.retain(|&(_, k)| k != key);
+                }
             }
             return;
         };
@@ -1241,16 +1321,17 @@ impl Sim {
 
     /// A chain's transfer left the wire (the chunk is now queued at the
     /// downstream disk).
-    fn chain_wire_free(&mut self, slot: u64, to_node: u32, now: SimTime) {
-        if let Some(chain) = self.chains.get_mut(&(slot, to_node)) {
-            chain.wire_busy = false;
+    fn chain_wire_free(&mut self, slot: TaskKey, to_node: u32, now: SimTime) {
+        if let Some(key) = self.chain_key(slot, to_node) {
+            self.chains.get_mut(key).expect("open chain").wire_busy = false;
         }
         self.pump_chain(slot, to_node, now);
     }
 
     /// A downstream disk write completed: the ack releases window space.
-    fn chain_ack(&mut self, slot: u64, to_node: u32, now: SimTime) {
-        if let Some(chain) = self.chains.get_mut(&(slot, to_node)) {
+    fn chain_ack(&mut self, slot: TaskKey, to_node: u32, now: SimTime) {
+        if let Some(key) = self.chain_key(slot, to_node) {
+            let chain = self.chains.get_mut(key).expect("open chain");
             chain.unacked = chain.unacked.saturating_sub(1);
         }
         self.pump_chain(slot, to_node, now);
@@ -1271,13 +1352,11 @@ impl Sim {
             self.dispatch_cont(cont, now);
             return;
         }
-        let id = self.next_io;
-        self.next_io += 1;
         // §3 future work: weighted fair sharing on the wire. The owning
         // application is recovered from the continuation.
         let weight = if self.cfg.network_control {
-            let app = match &cont {
-                Cont::ReplicaXfer { app, .. } => Some(*app),
+            let app = match cont {
+                Cont::ReplicaXfer { app, .. } => Some(app),
                 Cont::AsyncDone { slot, .. }
                 | Cont::PullDone { slot }
                 | Cont::PullDisk { slot, .. }
@@ -1291,7 +1370,7 @@ impl Sim {
         } else {
             1.0
         };
-        self.transfers.insert(id, cont);
+        let id = self.transfers.insert(cont).encode();
         let link = &mut self.nodes[to_node as usize].rx;
         let timer = if weight != 1.0 {
             link.start_weighted(id, bytes, weight, now)
@@ -1308,7 +1387,11 @@ impl Sim {
     }
 
     fn link_timer(&mut self, node: u32, epoch: u64, now: SimTime) {
-        let (finished, next) = self.nodes[node as usize].rx.on_timer(now, epoch);
+        let mut finished = std::mem::take(&mut self.link_scratch);
+        finished.clear();
+        let next = self.nodes[node as usize]
+            .rx
+            .on_timer_into(now, epoch, &mut finished);
         if let Some(t) = next {
             self.queue.push(
                 t.at,
@@ -1318,18 +1401,20 @@ impl Sim {
                 },
             );
         }
-        for id in finished {
-            if let Some(cont) = self.transfers.remove(&id) {
+        for &id in &finished {
+            if let Some(cont) = self.transfers.remove(XferKey::decode(id)) {
                 self.dispatch_cont(cont, now);
             }
         }
+        finished.clear();
+        self.link_scratch = finished;
     }
 
     fn dispatch_cont(&mut self, cont: Cont, now: SimTime) {
         match cont {
             Cont::AsyncDone { slot, cat } => self.async_done(slot, cat, now),
             Cont::RemoteReadDisk { slot, bytes } => {
-                let Some(task) = self.tasks.get(&slot) else { return };
+                let Some(task) = self.tasks.get(slot) else { return };
                 let node = task.node;
                 self.start_transfer(
                     node,
@@ -1342,7 +1427,7 @@ impl Sim {
                 );
             }
             Cont::PullDisk { slot, from, bytes } => {
-                let Some(task) = self.tasks.get(&slot) else { return };
+                let Some(task) = self.tasks.get(slot) else { return };
                 if task.node == from {
                     self.pull_done(slot, now);
                 } else {
@@ -1358,12 +1443,12 @@ impl Sim {
                     self.chain_ack(slot, target, now);
                 }
                 let done = {
-                    let c = self.comps.get_mut(&comp).expect("composite exists");
+                    let c = self.comps.get_mut(comp).expect("composite exists");
                     c.remaining -= 1;
                     c.remaining == 0
                 };
                 if done {
-                    let c = self.comps.remove(&comp).expect("composite");
+                    let c = self.comps.remove(comp).expect("composite");
                     self.async_done(c.slot, IoCat::HWrite, now);
                 }
             }
@@ -1486,9 +1571,9 @@ impl Sim {
         let queries = self
             .queries
             .iter()
-            .filter_map(|(first, name)| {
-                self.job_mgr.workflow_runtime(*first).map(|rt| QuerySummary {
-                    name: name.clone(),
+            .filter_map(|&(first, sym)| {
+                self.job_mgr.workflow_runtime(first).map(|rt| QuerySummary {
+                    name: self.symbols.resolve(sym).to_string(),
                     first_app: first.app(),
                     runtime: rt,
                 })

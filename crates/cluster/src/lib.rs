@@ -35,6 +35,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::redundant_clone)]
 
 pub mod autotune;
 pub mod config;

@@ -1,0 +1,95 @@
+//! String interning for per-event paths.
+//!
+//! Workload names (query names, job names) enter the engine as `String`s
+//! but are referenced repeatedly while a workload runs. Interning them
+//! once into a [`SymbolTable`] lets the hot paths carry a `Copy`
+//! [`Symbol`] instead of cloning strings; the text is resolved back only
+//! at report-building time.
+//!
+//! The table is deliberately *not* global: a process-wide interner would
+//! hand out ids in cross-thread arrival order and break the sweep
+//! engine's byte-identical determinism. Each simulation owns its own
+//! table, so symbol ids are a pure function of that run's intern
+//! sequence.
+
+use std::collections::HashMap;
+
+/// A handle to an interned string, valid for the [`SymbolTable`] that
+/// produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The symbol's dense index (0-based intern order).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// An append-only string interner: equal strings map to equal symbols.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    strings: Vec<Box<str>>,
+    lookup: HashMap<Box<str>, u32>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the symbol for `s`, interning it on first sight.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&i) = self.lookup.get(s) {
+            return Symbol(i);
+        }
+        let i = u32::try_from(self.strings.len()).expect("symbol table overflow");
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.lookup.insert(boxed, i);
+        Symbol(i)
+    }
+
+    /// The text behind `sym`. Panics on a symbol from another table whose
+    /// index is out of range.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.0 as usize]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interns_and_resolves() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("Q9");
+        let b = t.intern("Q12");
+        let a2 = t.intern("Q9");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(a), "Q9");
+        assert_eq!(t.resolve(b), "Q12");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn symbols_are_dense_in_intern_order() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.intern("x").index(), 0);
+        assert_eq!(t.intern("y").index(), 1);
+        assert_eq!(t.intern("x").index(), 0);
+    }
+}

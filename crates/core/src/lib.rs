@@ -32,21 +32,29 @@
 //! `submit` / `pop_dispatch` / `on_complete` / `on_tick`, so they can be
 //! embedded in the discrete-event cluster simulator, a benchmark loop, or
 //! a real I/O proxy.
+//!
+//! Two support modules serve the engine's allocation-lean hot path (see
+//! DESIGN.md §12): [`slab`] — typed generational arenas replacing the
+//! engine's `HashMap` side tables — and [`intern`] — per-run string
+//! interning so event paths carry `Copy` symbols instead of clones.
 
 #![warn(missing_docs)]
 
 pub mod baselines;
 pub mod broker;
 pub mod controller;
+pub mod intern;
 pub mod request;
 pub mod scheduler;
 pub mod sfq;
 pub mod sfqd2;
+pub mod slab;
 pub mod strict;
 
 pub use baselines::{CgroupThrottle, CgroupWeight, Fifo};
 pub use broker::{BrokerStats, SchedulingBroker};
 pub use controller::{ControllerConfig, DepthController};
+pub use intern::{Symbol, SymbolTable};
 pub use request::{AppId, IoClass, IoKind, Request};
 pub use scheduler::{IoScheduler, Policy, SchedStats, ServiceMap};
 pub use sfq::{SfqConfig, SfqD};

@@ -1,0 +1,464 @@
+//! Generational slab arenas for the engine's per-event side tables.
+//!
+//! The cluster engine tracks every in-flight I/O, task, transfer, and
+//! write-pipeline composite in a side table keyed by a monotonically
+//! assigned id. Keying those tables with `HashMap<u64, _>` puts a hash +
+//! probe on every event and a heap allocation on every table growth; this
+//! module replaces them with dense generational slabs:
+//!
+//! * Entries live in a `Vec` of slots; a freed slot goes on a LIFO free
+//!   list and is reused by the next insert, so a warmed table never
+//!   allocates again.
+//! * Every slot carries a *generation* bumped on each free. A key is the
+//!   `(index, generation)` pair, so a stale key — one held across its
+//!   entry's removal and the slot's reuse — is detected and panics
+//!   instead of silently aliasing the new occupant.
+//! * Keys are strongly typed via the [`slab_key!`] macro ([`IoKey`],
+//!   [`TaskKey`], …), so an I/O id cannot be handed to the task table.
+//! * A key packs losslessly into a `u64` ([`SlabKey::encode`] /
+//!   [`SlabKey::decode`]), letting it ride through existing id channels
+//!   (device request ids, link transfer ids, observability events)
+//!   without widening those interfaces.
+//!
+//! Determinism: the engine's byte-identical-replay guarantee only needs
+//! key assignment to be a pure function of the insert/remove sequence.
+//! Both backends here — the dense [`Slab`] and the [`HashSlab`] reference
+//! used by the validation tests — allocate keys with the *same* LIFO
+//! free-list discipline, so a run produces the same key sequence (and
+//! therefore the same encoded ids, event order, and report) on either.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A typed generational arena key: an `(index, generation)` pair that
+/// packs into a `u64`. Implemented by the key types declared with
+/// [`slab_key!`]; not meant for manual implementation.
+pub trait SlabKey: Copy + Eq + std::hash::Hash + fmt::Debug {
+    /// Assembles a key from its slot index and generation.
+    fn from_parts(index: u32, generation: u32) -> Self;
+    /// The slot index.
+    fn index(self) -> u32;
+    /// The slot generation this key is valid for.
+    fn generation(self) -> u32;
+
+    /// Packs the key into a `u64` (`generation << 32 | index`) so it can
+    /// travel through untyped id channels.
+    fn encode(self) -> u64 {
+        ((self.generation() as u64) << 32) | self.index() as u64
+    }
+
+    /// Inverse of [`SlabKey::encode`].
+    fn decode(raw: u64) -> Self {
+        Self::from_parts(raw as u32, (raw >> 32) as u32)
+    }
+}
+
+/// Declares a typed slab key. Usage:
+/// `slab_key!(/** doc */ pub struct IoKey);`
+#[macro_export]
+macro_rules! slab_key {
+    ($(#[$meta:meta])* $vis:vis struct $name:ident) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        $vis struct $name {
+            index: u32,
+            generation: u32,
+        }
+
+        impl $crate::slab::SlabKey for $name {
+            fn from_parts(index: u32, generation: u32) -> Self {
+                Self { index, generation }
+            }
+            fn index(self) -> u32 {
+                self.index
+            }
+            fn generation(self) -> u32 {
+                self.generation
+            }
+        }
+
+        impl ::std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, "{}({}v{})", stringify!($name), self.index, self.generation)
+            }
+        }
+    };
+}
+
+slab_key!(
+    /// Key of an in-flight interposed I/O in the engine's io table.
+    pub struct IoKey
+);
+slab_key!(
+    /// Key of a running task (an occupied execution slot).
+    pub struct TaskKey
+);
+slab_key!(
+    /// Key of an in-flight network transfer on a node's ingress link.
+    pub struct XferKey
+);
+slab_key!(
+    /// Key of a composite HDFS-write completion (one per chunk, counting
+    /// replica writes).
+    pub struct CompKey
+);
+slab_key!(
+    /// Key of an open HDFS replication-pipeline chain.
+    pub struct ChainKey
+);
+
+/// The operations the engine needs from a keyed side table. Implemented
+/// by the dense [`Slab`] (production) and the [`HashSlab`] reference
+/// (validation); both allocate keys identically, see the module docs.
+pub trait Arena<K: SlabKey, V>: Default {
+    /// Stores `value` and returns its key. Reuses the most recently freed
+    /// slot (LIFO) or appends a new one.
+    fn insert(&mut self, value: V) -> K;
+    /// The live entry for `key`, or `None` if it was removed and the slot
+    /// has not been reused. Panics on a stale key (slot reused under a
+    /// newer generation) or a foreign key (index never allocated).
+    fn get(&self, key: K) -> Option<&V>;
+    /// Mutable [`Arena::get`].
+    fn get_mut(&mut self, key: K) -> Option<&mut V>;
+    /// Removes and returns the entry, freeing its slot. `None`/panic
+    /// semantics match [`Arena::get`].
+    fn remove(&mut self, key: K) -> Option<V>;
+    /// Number of live entries.
+    fn len(&self) -> usize;
+    /// True when no entries are live.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn stale_key(key: impl fmt::Debug, live: u32) -> ! {
+    panic!("stale slab key {key:?}: slot reused (live generation {live})")
+}
+
+#[cold]
+#[inline(never)]
+fn foreign_key(key: impl fmt::Debug, slots: usize) -> ! {
+    panic!("foreign slab key {key:?}: arena has only {slots} slots")
+}
+
+enum Slot<V> {
+    /// Free slot; `generation` is the one the *next* occupant will get.
+    Vacant { generation: u32 },
+    Occupied { generation: u32, value: V },
+}
+
+/// A dense generational arena: values in a `Vec`, freed slots reused LIFO,
+/// zero allocations at steady state once warmed.
+pub struct Slab<K, V> {
+    slots: Vec<Slot<V>>,
+    free: Vec<u32>,
+    len: usize,
+    _key: PhantomData<K>,
+}
+
+impl<K, V> Default for Slab<K, V> {
+    fn default() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+            _key: PhantomData,
+        }
+    }
+}
+
+impl<K: SlabKey, V> Arena<K, V> for Slab<K, V> {
+    fn insert(&mut self, value: V) -> K {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            let Slot::Vacant { generation } = *slot else {
+                unreachable!("free list points at occupied slot");
+            };
+            *slot = Slot::Occupied { generation, value };
+            K::from_parts(index, generation)
+        } else {
+            let index = self.slots.len() as u32;
+            self.slots.push(Slot::Occupied {
+                generation: 0,
+                value,
+            });
+            K::from_parts(index, 0)
+        }
+    }
+
+    fn get(&self, key: K) -> Option<&V> {
+        match self.slots.get(key.index() as usize) {
+            Some(Slot::Occupied { generation, value }) => {
+                if *generation == key.generation() {
+                    Some(value)
+                } else {
+                    stale_key(key, *generation)
+                }
+            }
+            Some(Slot::Vacant { .. }) => None,
+            None => foreign_key(key, self.slots.len()),
+        }
+    }
+
+    fn get_mut(&mut self, key: K) -> Option<&mut V> {
+        let slots = self.slots.len();
+        match self.slots.get_mut(key.index() as usize) {
+            Some(Slot::Occupied { generation, value }) => {
+                if *generation == key.generation() {
+                    Some(value)
+                } else {
+                    stale_key(key, *generation)
+                }
+            }
+            Some(Slot::Vacant { .. }) => None,
+            None => foreign_key(key, slots),
+        }
+    }
+
+    fn remove(&mut self, key: K) -> Option<V> {
+        let slots = self.slots.len();
+        let slot = match self.slots.get_mut(key.index() as usize) {
+            Some(s) => s,
+            None => foreign_key(key, slots),
+        };
+        match slot {
+            Slot::Occupied { generation, .. } => {
+                if *generation != key.generation() {
+                    stale_key(key, *generation);
+                }
+            }
+            Slot::Vacant { .. } => return None,
+        }
+        let next = key.generation().wrapping_add(1);
+        let Slot::Occupied { value, .. } =
+            std::mem::replace(slot, Slot::Vacant { generation: next })
+        else {
+            unreachable!("checked occupied above");
+        };
+        self.free.push(key.index());
+        self.len -= 1;
+        Some(value)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// A `HashMap`-backed arena with the *same* key-allocation discipline as
+/// [`Slab`] — the validation reference the determinism tests run the
+/// engine against, and the "before" side of the allocation benchmarks.
+pub struct HashSlab<K, V> {
+    /// Occupancy + generation mirror of [`Slab::slots`]; values live in
+    /// `map` so every access pays the hash the slab removed.
+    slots: Vec<HashSlot>,
+    free: Vec<u32>,
+    map: HashMap<u64, V>,
+    _key: PhantomData<K>,
+}
+
+enum HashSlot {
+    Vacant { generation: u32 },
+    Occupied { generation: u32 },
+}
+
+impl<K, V> Default for HashSlab<K, V> {
+    fn default() -> Self {
+        HashSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            map: HashMap::new(),
+            _key: PhantomData,
+        }
+    }
+}
+
+impl<K: SlabKey, V> HashSlab<K, V> {
+    /// Resolves `key` to its encoded map slot, with [`Slab`]-identical
+    /// stale/foreign/vacant semantics.
+    fn resolve(&self, key: K) -> Option<u64> {
+        match self.slots.get(key.index() as usize) {
+            Some(HashSlot::Occupied { generation }) => {
+                if *generation == key.generation() {
+                    Some(key.encode())
+                } else {
+                    stale_key(key, *generation)
+                }
+            }
+            Some(HashSlot::Vacant { .. }) => None,
+            None => foreign_key(key, self.slots.len()),
+        }
+    }
+}
+
+impl<K: SlabKey, V> Arena<K, V> for HashSlab<K, V> {
+    fn insert(&mut self, value: V) -> K {
+        let key = if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            let HashSlot::Vacant { generation } = *slot else {
+                unreachable!("free list points at occupied slot");
+            };
+            *slot = HashSlot::Occupied { generation };
+            K::from_parts(index, generation)
+        } else {
+            let index = self.slots.len() as u32;
+            self.slots.push(HashSlot::Occupied { generation: 0 });
+            K::from_parts(index, 0)
+        };
+        self.map.insert(key.encode(), value);
+        key
+    }
+
+    fn get(&self, key: K) -> Option<&V> {
+        let enc = self.resolve(key)?;
+        self.map.get(&enc)
+    }
+
+    fn get_mut(&mut self, key: K) -> Option<&mut V> {
+        let enc = self.resolve(key)?;
+        self.map.get_mut(&enc)
+    }
+
+    fn remove(&mut self, key: K) -> Option<V> {
+        let enc = self.resolve(key)?;
+        self.slots[key.index() as usize] = HashSlot::Vacant {
+            generation: key.generation().wrapping_add(1),
+        };
+        self.free.push(key.index());
+        self.map.remove(&enc)
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Selects the arena backend for every side table of a generic consumer
+/// (the cluster engine is `Sim<A: ArenaKind>`). Production code uses
+/// [`SlabArenas`]; the determinism tests run the same engine over
+/// [`HashArenas`] and assert byte-identical reports.
+pub trait ArenaKind {
+    /// The concrete table type for key `K` / value `V`.
+    type Arena<K: SlabKey, V>: Arena<K, V>;
+}
+
+/// Dense generational slabs (production backend).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SlabArenas;
+
+impl ArenaKind for SlabArenas {
+    type Arena<K: SlabKey, V> = Slab<K, V>;
+}
+
+/// `HashMap`-backed reference tables (validation backend).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashArenas;
+
+impl ArenaKind for HashArenas {
+    type Arena<K: SlabKey, V> = HashSlab<K, V>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    slab_key!(
+        /// Test key.
+        pub struct TestKey
+    );
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let k = TestKey::from_parts(7, 3);
+        assert_eq!(k.encode(), (3u64 << 32) | 7);
+        assert_eq!(TestKey::decode(k.encode()), k);
+        assert_eq!(format!("{k:?}"), "TestKey(7v3)");
+    }
+
+    fn lifecycle<A: Arena<TestKey, &'static str>>(mut t: A) {
+        assert!(t.is_empty());
+        let a = t.insert("a");
+        let b = t.insert("b");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(a), Some(&"a"));
+        assert_eq!(t.get_mut(b).map(|v| *v), Some("b"));
+        assert_eq!(t.remove(a), Some("a"));
+        // Removed entry resolves to None until the slot is reused.
+        assert_eq!(t.get(a), None);
+        assert_eq!(t.remove(a), None);
+        // LIFO reuse: the freed slot comes back with a bumped generation.
+        let c = t.insert("c");
+        assert_eq!(c.index(), a.index());
+        assert_eq!(c.generation(), a.generation() + 1);
+        assert_eq!(t.get(c), Some(&"c"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn slab_lifecycle() {
+        lifecycle(Slab::<TestKey, &'static str>::default());
+    }
+
+    #[test]
+    fn hash_slab_lifecycle() {
+        lifecycle(HashSlab::<TestKey, &'static str>::default());
+    }
+
+    #[test]
+    fn backends_assign_identical_keys() {
+        let mut slab = Slab::<TestKey, u32>::default();
+        let mut hash = HashSlab::<TestKey, u32>::default();
+        let mut keys = Vec::new();
+        // Interleaved inserts and removes must produce the same key
+        // sequence on both backends (the determinism contract).
+        for i in 0..100u32 {
+            let (a, b) = (slab.insert(i), hash.insert(i));
+            assert_eq!(a, b);
+            keys.push(a);
+            if i % 3 == 0 {
+                let k = keys.remove((i as usize / 2) % keys.len());
+                assert_eq!(slab.remove(k), hash.remove(k));
+            }
+        }
+        assert_eq!(slab.len(), hash.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "stale slab key")]
+    fn slab_stale_key_panics() {
+        let mut t = Slab::<TestKey, u32>::default();
+        let a = t.insert(1);
+        t.remove(a);
+        t.insert(2); // reuses a's slot under a new generation
+        t.get(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale slab key")]
+    fn hash_slab_stale_key_panics() {
+        let mut t = HashSlab::<TestKey, u32>::default();
+        let a = t.insert(1);
+        t.remove(a);
+        t.insert(2);
+        t.remove(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign slab key")]
+    fn slab_foreign_key_panics() {
+        let t = Slab::<TestKey, u32>::default();
+        t.get(TestKey::from_parts(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign slab key")]
+    fn hash_slab_foreign_key_panics() {
+        let mut t = HashSlab::<TestKey, u32>::default();
+        t.insert(1);
+        t.get_mut(TestKey::from_parts(9, 0));
+    }
+}

@@ -140,11 +140,24 @@ impl PsLink {
     /// next timer to arm, if any transfers remain. A stale `epoch` returns
     /// `(empty, None)` — the engine simply drops it.
     pub fn on_timer(&mut self, now: SimTime, epoch: u64) -> (Vec<u64>, Option<LinkTimer>) {
+        let mut finished = Vec::new();
+        let timer = self.on_timer_into(now, epoch, &mut finished);
+        (finished, timer)
+    }
+
+    /// Allocation-free [`PsLink::on_timer`]: completed transfer ids are
+    /// appended to the caller-owned `finished` (not cleared first), so a
+    /// hot loop can reuse one buffer across timers.
+    pub fn on_timer_into(
+        &mut self,
+        now: SimTime,
+        epoch: u64,
+        finished: &mut Vec<u64>,
+    ) -> Option<LinkTimer> {
         if epoch != self.epoch {
-            return (Vec::new(), None);
+            return None;
         }
         self.advance(now);
-        let mut finished = Vec::new();
         self.active.retain(|t| {
             if t.remaining <= DONE_EPS {
                 finished.push(t.id);
@@ -153,13 +166,12 @@ impl PsLink {
                 true
             }
         });
-        let timer = if self.active.is_empty() {
+        if self.active.is_empty() {
             self.epoch += 1; // invalidate anything outstanding
             None
         } else {
             self.next_timer(now)
-        };
-        (finished, timer)
+        }
     }
 
     /// Like [`PsLink::start`] but also counts `bytes` toward
