@@ -2,8 +2,10 @@
 //!
 //! Runs a set of small scenarios with the flight recorder forced on,
 //! replays each recording through the auditor (start-tag monotonicity,
-//! windowed proportional share, DSFQ delay identity), and exits non-zero
-//! if any invariant is violated. Results land in `results/audit.json`.
+//! windowed proportional share, DSFQ delay identity, degraded pure-local
+//! fallback), and exits non-zero if any invariant is violated — or if the
+//! chaos scenario never actually degraded, so the degraded check cannot
+//! pass vacuously. Results land in `results/audit.json`.
 //!
 //! Usage: `audit [--list] [--trace DIR] [--json PATH] [scenario ...]`
 //!
@@ -20,8 +22,10 @@ use ibis_bench::experiments::{hdd_cluster, sfqd2};
 use ibis_bench::{json, ResultSink};
 use ibis_cluster::prelude::*;
 use ibis_dfs::Placement;
+use ibis_faults::{FaultSchedule, FaultsConfig};
 use ibis_obs::{audit, chrome, AuditConfig, AuditReport, Invariant, ObsConfig};
 use ibis_simcore::units::GIB;
+use ibis_simcore::{SimDuration, SimTime};
 use ibis_workloads::{teragen, wordcount};
 
 struct Scenario {
@@ -70,6 +74,30 @@ fn coordination() -> Experiment {
     exp
 }
 
+/// The coordination workload with the broker knocked dark mid-run (plus
+/// probabilistic report drops): schedulers must declare their totals
+/// stale, fall back to pure local SFQ(D2), and charge **zero** DSFQ delay
+/// until the broker recovers — the degraded pure-local invariant.
+fn degraded() -> Experiment {
+    let mut cfg = traced(sfqd2());
+    cfg.placement = Placement::Skewed {
+        hot_nodes: 2,
+        hot_weight: 6.0,
+    };
+    cfg.faults = FaultsConfig {
+        enabled: true,
+        schedule: FaultSchedule::new(0xFA17)
+            .broker_outage(SimTime::from_secs(20), SimDuration::from_secs(25))
+            .drop_reports(SimTime::ZERO, SimDuration::from_secs(36_000), 4),
+        staleness_bound: SimDuration::from_secs(2),
+        ..FaultsConfig::default()
+    };
+    let mut exp = Experiment::new(cfg);
+    exp.add_job(wordcount(8 * GIB).io_weight(8.0).max_slots(48));
+    exp.add_job(teragen(8 * GIB).io_weight(1.0).max_slots(48));
+    exp
+}
+
 const SCENARIOS: &[Scenario] = &[
     Scenario {
         name: "proportional",
@@ -86,25 +114,33 @@ const SCENARIOS: &[Scenario] = &[
         title: "skewed data + broker — DSFQ delay identity",
         build: coordination,
     },
+    Scenario {
+        name: "degraded",
+        title: "mid-run broker outage — degraded pure-local fallback",
+        build: degraded,
+    },
 ];
 
-/// The three audited invariants with the number of opportunities each had
+/// The four audited invariants with the number of opportunities each had
 /// to fire in `report` — pairing every violation count with its
 /// denominator so a "0 violations" verdict distinguishable from "never
 /// checked".
-fn invariant_rows(report: &AuditReport) -> [(Invariant, u64); 3] {
+fn invariant_rows(report: &AuditReport) -> [(Invariant, u64); 4] {
     [
         (Invariant::StartTagMonotone, report.dispatches),
         (Invariant::ProportionalShare, report.windows_checked),
         (Invariant::DelayIdentity, report.delay_checks),
+        (Invariant::DegradedPureLocal, report.degraded_marks),
     ]
 }
 
-/// Appends one scenario's verdict to the open `scenarios` array.
-fn json_scenario(w: &mut json::Writer, name: &str, report: &AuditReport, dropped: u64) {
+/// Appends one scenario's verdict to the open `scenarios` array. `passed`
+/// is the same flag the process exit code is derived from, so the payload
+/// and the exit status cannot disagree.
+fn json_scenario(w: &mut json::Writer, name: &str, report: &AuditReport, dropped: u64, passed: bool) {
     w.open_object(None);
     w.string(Some("scenario"), name);
-    w.value(Some("passed"), if report.passed() { "true" } else { "false" });
+    w.value(Some("passed"), if passed { "true" } else { "false" });
     w.number(Some("events"), report.events as f64);
     w.number(Some("events_dropped"), dropped as f64);
     w.number(Some("violations"), report.violation_count as f64);
@@ -186,21 +222,35 @@ fn main() {
         let mut report = audit(rec, &AuditConfig::default());
         println!(
             "{} events ({} dropped), {} dispatches, {} share windows, \
-             {} delay checks",
+             {} delay checks, {} degraded marks",
             report.events,
             rec.dropped_total(),
             report.dispatches,
             report.windows_checked,
-            report.delay_checks
+            report.delay_checks,
+            report.degraded_marks
         );
         let summary = report.summary();
         println!("{summary}");
         for v in &report.violations {
             println!("  {v}");
         }
-        if !report.passed() {
-            failed = true;
+        // The exit status derives from the same per-invariant rows the
+        // JSON verdict is built from — not just the aggregate violation
+        // count — so `--json` can never write a failing invariant while
+        // the process exits zero.
+        let mut scenario_failed = !report.passed()
+            || invariant_rows(&report)
+                .iter()
+                .any(|&(inv, _)| report.violations_of(inv) > 0);
+        if s.name == "degraded" && report.degraded_marks == 0 {
+            println!(
+                "  VACUOUS: the degraded scenario never entered degraded \
+                 mode — the invariant had nothing to check"
+            );
+            scenario_failed = true;
         }
+        failed |= scenario_failed;
         sink.record(&format!("{}_events", s.name), report.events as f64);
         sink.record(&format!("{}_dispatches", s.name), report.dispatches as f64);
         sink.record(
@@ -215,8 +265,12 @@ fn main() {
             &format!("{}_violations", s.name),
             report.violation_count as f64,
         );
+        sink.record(
+            &format!("{}_degraded_marks", s.name),
+            report.degraded_marks as f64,
+        );
         if let Some(w) = verdict.as_mut() {
-            json_scenario(w, s.name, &report, rec.dropped_total());
+            json_scenario(w, s.name, &report, rec.dropped_total(), !scenario_failed);
         }
         if let Some(dir) = &trace_dir {
             std::fs::create_dir_all(dir).expect("create trace dir");

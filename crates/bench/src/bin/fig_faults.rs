@@ -1,0 +1,11 @@
+//! Regenerates the chaos figure (see DESIGN.md §13): fairness index and
+//! makespan under injected faults vs. the fault-free baseline.
+//! Scale via IBIS_SCALE={quick,paper}.
+use ibis_bench::figs::fig_faults;
+use ibis_bench::ScaleProfile;
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    let sink = fig_faults::run(scale);
+    sink.save();
+}

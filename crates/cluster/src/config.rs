@@ -150,6 +150,13 @@ pub struct ClusterConfig {
     /// export time-series telemetry without a config change; disabled, the
     /// engine schedules no sampling events and the hot paths are untouched.
     pub metrics: ibis_metrics::MetricsConfig,
+    /// Fault-injection configuration (see `ibis-faults`). Defaults to the
+    /// environment (`IBIS_FAULTS="broker@10+5;crash@20+30:n2"` injects a
+    /// schedule, `IBIS_FAULTS_SEED` varies probabilistic drops); with no
+    /// schedule the engine allocates no fault state, schedules no fault
+    /// events, and produces byte-identical results to a build without
+    /// fault support.
+    pub faults: ibis_faults::FaultsConfig,
 }
 
 impl Default for ClusterConfig {
@@ -180,6 +187,7 @@ impl Default for ClusterConfig {
             seed: 0x1b15,
             obs: ibis_obs::ObsConfig::from_env(),
             metrics: ibis_metrics::MetricsConfig::from_env(),
+            faults: ibis_faults::FaultsConfig::from_env(),
         }
     }
 }

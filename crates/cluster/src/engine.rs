@@ -21,12 +21,13 @@
 //!   further maps finish.
 
 use crate::config::{ClusterConfig, Experiment, Workload};
-use crate::report::{JobSummary, QuerySummary, RunReport};
+use crate::report::{FaultSummary, JobSummary, QuerySummary, RunReport};
 use ibis_core::intern::{Symbol, SymbolTable};
 use ibis_core::scheduler::{IoScheduler, Policy};
 use ibis_core::slab::{Arena, ArenaKind, ChainKey, CompKey, IoKey, SlabArenas, SlabKey, TaskKey, XferKey};
-use ibis_core::{AppId, IoClass, IoKind, Request, SchedulingBroker, SfqD2Config};
-use ibis_dfs::{BlockInfo, Namenode, NamenodeConfig, NodeId};
+use ibis_core::{AppId, IoClass, IoKind, Request, SchedulingBroker, SfqD2Config, Staleness};
+use ibis_dfs::{BlockId, BlockInfo, Namenode, NamenodeConfig, NodeId};
+use ibis_faults::{Fault, FaultSchedule};
 use ibis_mapreduce::job::JobEvent;
 use ibis_mapreduce::{JobId, JobManager, Step, TaskAssignment, TaskKind};
 use ibis_metrics::{Labels, MetricsRegistry, Sampler};
@@ -79,12 +80,27 @@ enum Event {
     /// event/end-time accounting so enabling telemetry cannot change the
     /// reported `events` or `makespan`.
     MetricsSample,
+    /// A scheduled datanode crash (fault injection).
+    NodeCrash { node: u32 },
+    /// A crashed datanode rejoins with cold devices and schedulers.
+    NodeRestart { node: u32 },
+    /// Bounded-backoff retry of a sync round that found the broker dark.
+    BrokerRetry { attempt: u32 },
+    /// Deliver a batch of broker replies held back by a reply-delay fault.
+    DeliverReplies { batch: u32 },
+    /// Obs-visible marker at a fault-window edge (outage or slowdown);
+    /// carries the [`EventKind::FaultInjected`] discriminant and detail.
+    FaultMark { node: u32, dev: u8, kind: u32, detail: u64 },
 }
 
 /// Bucket upper bounds (ms) for the per-device completion-latency
 /// histograms recorded when metrics are enabled.
 const IO_LATENCY_BOUNDS_MS: [f64; 10] =
     [1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0];
+
+/// Bucket upper bounds (seconds) for the broker reply-staleness
+/// histogram sampled during fault-injection runs.
+const STALENESS_BOUNDS_S: [f64; 8] = [0.25, 0.5, 1.0, 2.0, 3.0, 5.0, 10.0, 30.0];
 
 /// Engine-side telemetry state (None unless `cfg.metrics.enabled`).
 struct MetricsState {
@@ -112,8 +128,15 @@ enum IoCat {
 enum Cont {
     /// An async task I/O of the given category completed.
     AsyncDone { slot: TaskKey, cat: IoCat },
-    /// Remote-read disk part done: stream the data to the reader.
-    RemoteReadDisk { slot: TaskKey, bytes: u64 },
+    /// Remote-read disk part done: stream the data to the reader. Carries
+    /// the raw block id and stream key so a crashed source node can be
+    /// failed over to a surviving HDFS replica.
+    RemoteReadDisk {
+        slot: TaskKey,
+        bytes: u64,
+        block: u64,
+        stream: u64,
+    },
     /// Shuffle pull disk part done: stream to the reducer (or complete if
     /// the map output is local).
     PullDisk { slot: TaskKey, from: u32, bytes: u64 },
@@ -204,6 +227,12 @@ struct IoCtx {
     /// Set when the scheduler dispatches the request to the device; until
     /// then it holds the submission instant.
     dispatched: SimTime,
+    /// Node the I/O physically executes at (crash sweeps match on it).
+    node: u32,
+    /// Device index at that node.
+    dev: u8,
+    /// Stream key, kept so a parked I/O can be re-submitted on restart.
+    stream: u64,
 }
 
 struct CompState {
@@ -227,6 +256,86 @@ struct Chain {
 enum Pending {
     Job(ibis_mapreduce::JobSpec),
     Query(HiveQuery),
+}
+
+/// An I/O swept off a crashed node that cannot fail over (shuffle pulls
+/// and un-replicated reads): parked until the node restarts, then
+/// re-submitted to the cold scheduler.
+struct ParkedIo {
+    node: u32,
+    dev: usize,
+    kind: IoKind,
+    bytes: u64,
+    stream: u64,
+    app: AppId,
+    cont: Cont,
+}
+
+/// One scheduler's sync reply held back by a delay window: the target
+/// (node, device) and the per-app global totals to apply on delivery.
+type DeferredReply = (u32, usize, Vec<(AppId, u64)>);
+
+/// Fault-injection state (`None` unless `cfg.faults.active()`): the
+/// schedule, per-node liveness, parked I/O awaiting restarts, reply
+/// batches held back by delay windows, and the reaction counters that
+/// end up in [`FaultSummary`]. Fault-free runs never allocate this, so
+/// the engine stays byte-identical with the subsystem compiled in.
+struct FaultState {
+    schedule: FaultSchedule,
+    staleness_bound: SimDuration,
+    retry_backoff: SimDuration,
+    retry_limit: u32,
+    /// Liveness per datanode (false while crashed).
+    node_up: Vec<bool>,
+    /// Nodes with a scheduled restart — parking I/O is only legal for
+    /// these; anything stranded on a permanently dead node is a modelling
+    /// error and panics.
+    will_restart: Vec<bool>,
+    /// Reply batches deferred by a delay window:
+    /// (generated_at, per-(node, dev) replies).
+    reply_batches: Vec<(SimTime, Vec<DeferredReply>)>,
+    /// I/O waiting for its node to restart.
+    parked: Vec<ParkedIo>,
+    /// Monotone sync-round counter; the deterministic drop decision
+    /// hashes it so re-runs drop the same reports.
+    sync_index: u64,
+    /// Latest instant the brokers were marked synced at, so a late
+    /// delayed-reply delivery never moves `sync_age` backwards.
+    last_mark: SimTime,
+    /// A retry backoff chain is currently in flight (suppresses
+    /// overlapping chains from consecutive dark sync rounds).
+    retrying: bool,
+    summary: FaultSummary,
+    /// Profiled SFQ(D2) references, kept to rebuild a restarted node's
+    /// schedulers exactly as `Sim::new` built them.
+    hdfs_refs: Option<ReferenceLatency>,
+    scratch_refs: Option<ReferenceLatency>,
+}
+
+/// Builds one device scheduler, splicing profiled reference latencies
+/// into an SFQ(D2) controller config. Free function (not a closure in
+/// `Sim::new`) because a node restart rebuilds its schedulers the same
+/// way mid-run.
+fn build_sched(
+    policy: &Policy,
+    refs: &Option<ReferenceLatency>,
+    trace: bool,
+) -> Box<dyn IoScheduler + Send> {
+    match (policy, refs) {
+        (Policy::SfqD2(c), Some(r)) => {
+            let mut c2: SfqD2Config = c.clone();
+            c2.controller.ref_read = r.read;
+            c2.controller.ref_write = r.write;
+            c2.trace = trace;
+            Policy::SfqD2(c2).build()
+        }
+        (Policy::SfqD2(c), None) => {
+            let mut c2 = c.clone();
+            c2.trace = trace;
+            Policy::SfqD2(c2).build()
+        }
+        _ => policy.build(),
+    }
 }
 
 /// The simulator. Construct with [`Sim::new`], run with [`Sim::run`].
@@ -295,6 +404,10 @@ pub struct Sim<A: ArenaKind = SlabArenas> {
     /// Sampling runs on its own virtual-time event; disabled it costs one
     /// branch on the completion path and nothing anywhere else.
     metrics: Option<MetricsState>,
+    /// Fault-injection state (None unless `cfg.faults.active()`): with no
+    /// schedule the engine allocates nothing, schedules no fault events,
+    /// and every guard reduces to one `is_some` branch.
+    faults: Option<FaultState>,
 }
 
 impl<A: ArenaKind> Sim<A> {
@@ -322,27 +435,6 @@ impl<A: ArenaKind> Sim<A> {
             (Some(h), Some(s))
         } else {
             (None, None)
-        };
-
-        let build_sched = |policy: &Policy,
-                           refs: &Option<ReferenceLatency>,
-                           trace: bool|
-         -> Box<dyn IoScheduler + Send> {
-            match (policy, refs) {
-                (Policy::SfqD2(c), Some(r)) => {
-                    let mut c2: SfqD2Config = c.clone();
-                    c2.controller.ref_read = r.read;
-                    c2.controller.ref_write = r.write;
-                    c2.trace = trace;
-                    Policy::SfqD2(c2).build()
-                }
-                (Policy::SfqD2(c), None) => {
-                    let mut c2 = c.clone();
-                    c2.trace = trace;
-                    Policy::SfqD2(c2).build()
-                }
-                _ => policy.build(),
-            }
         };
 
         let mut recorder = if cfg.obs.enabled {
@@ -460,6 +552,68 @@ impl<A: ArenaKind> Sim<A> {
             }
         });
 
+        let faults = cfg.faults.active().then(|| {
+            let schedule = cfg.faults.schedule.clone();
+            let mut will_restart = vec![false; cfg.nodes as usize];
+            for (node, at, restart) in schedule.crashes() {
+                assert!(
+                    node < cfg.nodes,
+                    "fault schedule crashes unknown node n{node} (cluster has {})",
+                    cfg.nodes
+                );
+                queue.push(at, Event::NodeCrash { node });
+                if let Some(d) = restart {
+                    will_restart[node as usize] = true;
+                    queue.push(at + d, Event::NodeRestart { node });
+                }
+            }
+            // Window-edge markers, so traces show fault spans even when no
+            // sync round or I/O lands inside them.
+            for f in schedule.faults() {
+                match *f {
+                    Fault::BrokerOutage { start, duration } => {
+                        queue.push(start, Event::FaultMark {
+                            node: 0,
+                            dev: 0,
+                            kind: 0,
+                            detail: duration.as_nanos(),
+                        });
+                    }
+                    Fault::DeviceSlowdown { node, dev, factor, start, duration } => {
+                        queue.push(start, Event::FaultMark {
+                            node,
+                            dev,
+                            kind: 5,
+                            detail: factor.to_bits(),
+                        });
+                        queue.push(start + duration, Event::FaultMark {
+                            node,
+                            dev,
+                            kind: 6,
+                            detail: factor.to_bits(),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+            FaultState {
+                schedule,
+                staleness_bound: cfg.faults.staleness_bound,
+                retry_backoff: cfg.faults.retry_backoff,
+                retry_limit: cfg.faults.retry_limit,
+                node_up: vec![true; cfg.nodes as usize],
+                will_restart,
+                reply_batches: Vec::new(),
+                parked: Vec::new(),
+                sync_index: 0,
+                last_mark: SimTime::ZERO,
+                retrying: false,
+                summary: FaultSummary::default(),
+                hdfs_refs: hdfs_refs.clone(),
+                scratch_refs: scratch_refs.clone(),
+            }
+        });
+
         Sim {
             job_mgr: JobManager::new(cfg.chunk),
             cfg,
@@ -493,6 +647,7 @@ impl<A: ArenaKind> Sim<A> {
             recorder,
             obs_scratch: Vec::new(),
             metrics,
+            faults,
         }
     }
 
@@ -598,9 +753,13 @@ impl<A: ArenaKind> Sim<A> {
             Event::DeviceDone { node, dev, io } => self.device_done(node, dev, io, now),
             Event::LinkTimer { node, epoch } => self.link_timer(node, epoch, now),
             Event::SchedTick { node, dev } => {
-                let dq = &mut self.nodes[node as usize].devs[dev];
-                dq.sched.on_tick(now);
-                self.pump_dispatch(node, dev, now);
+                // Down nodes skip the dead queue but keep the timer alive so
+                // a restarted scheduler resumes ticking without rescheduling.
+                if !self.node_down(node) {
+                    let dq = &mut self.nodes[node as usize].devs[dev];
+                    dq.sched.on_tick(now);
+                    self.pump_dispatch(node, dev, now);
+                }
                 if !self.finished {
                     if let Some(p) = self.nodes[node as usize].devs[dev].sched.tick_period() {
                         self.queue.push(now + p, Event::SchedTick { node, dev });
@@ -621,7 +780,23 @@ impl<A: ArenaKind> Sim<A> {
                         .push(now + self.cfg.metrics.sample_period, Event::MetricsSample);
                 }
             }
+            Event::NodeCrash { node } => self.node_crash(node, now),
+            Event::NodeRestart { node } => self.node_restart(node, now),
+            Event::BrokerRetry { attempt } => self.broker_retry(attempt, now),
+            Event::DeliverReplies { batch } => self.deliver_replies(batch, now),
+            Event::FaultMark { node, dev, kind, detail } => {
+                self.record_fault(node, dev, kind, detail, now);
+            }
         }
+    }
+
+    /// Whether fault injection has this node marked down. One branch in
+    /// fault-free runs.
+    #[inline]
+    fn node_down(&self, node: u32) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| !f.node_up[node as usize])
     }
 
     // ---- workload submission -------------------------------------------
@@ -794,12 +969,16 @@ impl<A: ArenaKind> Sim<A> {
                 }
                 Step::RemoteRead {
                     source,
+                    block,
                     bytes,
                     stream,
                 } => {
                     if bytes == 0 {
                         continue;
                     }
+                    // `issue_io` fails a down source over to a surviving
+                    // replica (or parks the read) via the block id carried
+                    // in the continuation.
                     self.issue_io(
                         source.0,
                         IoClass::Persistent,
@@ -807,7 +986,12 @@ impl<A: ArenaKind> Sim<A> {
                         bytes,
                         stream,
                         app,
-                        Cont::RemoteReadDisk { slot, bytes },
+                        Cont::RemoteReadDisk {
+                            slot,
+                            bytes,
+                            block,
+                            stream,
+                        },
                         now,
                     );
                     if self.charge_credit(slot, IoCat::Read) {
@@ -1128,14 +1312,21 @@ impl<A: ArenaKind> Sim<A> {
         cont: Cont,
         now: SimTime,
     ) {
+        let dev = dev_of(class);
+        if self.node_down(node) {
+            self.io_on_down_node(node, dev, kind, bytes, stream, app, cont, now);
+            return;
+        }
         let key = self.io_table.insert(IoCtx {
             cont,
             app,
             kind,
             bytes,
             dispatched: now,
+            node,
+            dev: dev as u8,
+            stream,
         });
-        let dev = dev_of(class);
         let req = Request {
             id: key.encode(),
             app,
@@ -1172,7 +1363,7 @@ impl<A: ArenaKind> Sim<A> {
         }
         for s in &started {
             self.queue.push(
-                s.complete_at,
+                self.stretched(s.complete_at, node, dev, now),
                 Event::DeviceDone {
                     node,
                     dev,
@@ -1187,18 +1378,46 @@ impl<A: ArenaKind> Sim<A> {
         }
     }
 
+    /// Applies any active straggler (device-slowdown) window to a service
+    /// completion time: the remaining service stretches by the window's
+    /// factor. Identity in fault-free runs and outside windows.
+    #[inline]
+    fn stretched(&self, complete_at: SimTime, node: u32, dev: usize, now: SimTime) -> SimTime {
+        let Some(fs) = &self.faults else {
+            return complete_at;
+        };
+        if !fs.schedule.has_slowdowns() {
+            return complete_at;
+        }
+        let factor = fs.schedule.slowdown(now, node, dev as u8);
+        if factor == 1.0 {
+            return complete_at;
+        }
+        let nanos = (complete_at - now).as_nanos() as f64 * factor;
+        now + SimDuration::from_nanos(nanos.round() as u64)
+    }
+
     fn device_done(&mut self, node: u32, dev: usize, io: IoKey, now: SimTime) {
         // One arena lookup covers routing, timing, and the continuation.
-        let IoCtx {
+        // A stale key means the I/O was swept by a node crash after the
+        // device had already scheduled its completion: the generational
+        // arena returns None and the event is simply dropped. Impossible
+        // without fault injection.
+        let Some(IoCtx {
             cont,
             app,
             kind,
             bytes,
             dispatched,
-        } = self
-            .io_table
-            .remove(io)
-            .expect("device completion for unknown io");
+            ..
+        }) = self.io_table.remove(io)
+        else {
+            assert!(
+                self.faults.is_some(),
+                "device completion for unknown io in a fault-free run"
+            );
+            return;
+        };
         let latency = now - dispatched;
         let dq = &mut self.nodes[node as usize].devs[dev];
         dq.sched.on_complete(app, kind, bytes, latency, now);
@@ -1222,7 +1441,7 @@ impl<A: ArenaKind> Sim<A> {
         dq.device.on_complete(io.encode(), now, &mut started);
         for s in &started {
             self.queue.push(
-                s.complete_at,
+                self.stretched(s.complete_at, node, dev, now),
                 Event::DeviceDone {
                     node,
                     dev,
@@ -1413,7 +1632,7 @@ impl<A: ArenaKind> Sim<A> {
     fn dispatch_cont(&mut self, cont: Cont, now: SimTime) {
         match cont {
             Cont::AsyncDone { slot, cat } => self.async_done(slot, cat, now),
-            Cont::RemoteReadDisk { slot, bytes } => {
+            Cont::RemoteReadDisk { slot, bytes, .. } => {
                 let Some(task) = self.tasks.get(slot) else { return };
                 let node = task.node;
                 self.start_transfer(
@@ -1483,22 +1702,474 @@ impl<A: ArenaKind> Sim<A> {
     // ---- broker -------------------------------------------------------------
 
     fn broker_sync(&mut self, now: SimTime) {
+        if self.faults.is_none() {
+            // Fault-free fast path: identical to the engine without fault
+            // support.
+            for n in 0..self.nodes.len() {
+                for dev in 0..2 {
+                    let report = self.nodes[n].devs[dev].sched.drain_service_report();
+                    if report.is_empty() {
+                        continue;
+                    }
+                    let reply = self.brokers[dev].report(&report);
+                    self.nodes[n].devs[dev]
+                        .sched
+                        .apply_global_service(&reply, now);
+                    self.drain_sched_obs(n as u32, dev);
+                }
+            }
+            for b in &mut self.brokers {
+                b.mark_sync(now);
+            }
+            return;
+        }
+        let fs = self.faults.as_mut().expect("checked above");
+        fs.sync_index += 1;
+        let idx = fs.sync_index;
+        if fs.schedule.broker_dark(now) {
+            // The broker is unreachable this round: reports stay buffered
+            // in the schedulers (drained next successful round), a bounded
+            // retry-with-backoff chain starts, and staleness tracking lets
+            // each scheduler fall back to pure local SFQ once its reply
+            // age exceeds the bound.
+            fs.summary.broker_outages += 1;
+            let start_retry = !fs.retrying && fs.retry_limit > 0;
+            if start_retry {
+                fs.retrying = true;
+            }
+            let backoff = fs.retry_backoff;
+            if start_retry {
+                self.queue.push(now + backoff, Event::BrokerRetry { attempt: 1 });
+            }
+            self.update_all_staleness(now);
+            return;
+        }
+        self.sync_round(idx, now);
+        self.update_all_staleness(now);
+    }
+
+    /// One report/reply exchange with the broker, honouring drop and
+    /// delay faults. Fault-free runs never come through here (see the
+    /// fast path in `broker_sync`).
+    fn sync_round(&mut self, sync_index: u64, now: SimTime) {
+        let delay = self
+            .faults
+            .as_ref()
+            .and_then(|fs| fs.schedule.reply_delay(now));
+        let mut deferred: Vec<DeferredReply> = Vec::new();
         for n in 0..self.nodes.len() {
+            if self.node_down(n as u32) {
+                continue;
+            }
             for dev in 0..2 {
                 let report = self.nodes[n].devs[dev].sched.drain_service_report();
                 if report.is_empty() {
                     continue;
                 }
+                let dropped = self
+                    .faults
+                    .as_ref()
+                    .expect("fault state")
+                    .schedule
+                    .drop_report(now, n as u32, dev as u8, sync_index);
+                if dropped {
+                    // The report is lost in flight: its service deltas are
+                    // gone (the scheduler already drained them), exactly as
+                    // a lost datagram would lose them. Totals stay monotone,
+                    // just under-counted until the next report.
+                    self.faults.as_mut().expect("fault state").summary.report_drops += 1;
+                    self.record_fault(n as u32, dev as u8, 1, sync_index, now);
+                    continue;
+                }
                 let reply = self.brokers[dev].report(&report);
-                self.nodes[n].devs[dev]
-                    .sched
-                    .apply_global_service(&reply, now);
-                self.drain_sched_obs(n as u32, dev);
+                if delay.is_some() {
+                    deferred.push((n as u32, dev, reply));
+                } else {
+                    self.nodes[n].devs[dev]
+                        .sched
+                        .apply_global_service(&reply, now);
+                    self.drain_sched_obs(n as u32, dev);
+                }
             }
         }
-        for b in &mut self.brokers {
-            b.mark_sync(now);
+        match delay {
+            None => {
+                for b in &mut self.brokers {
+                    b.mark_sync(now);
+                }
+                self.faults.as_mut().expect("fault state").last_mark = now;
+            }
+            Some(d) => {
+                // Replies ride a slow network: batch them and deliver when
+                // the latency elapses. Schedulers keep their old global
+                // view (and staleness keeps aging) until delivery.
+                let fs = self.faults.as_mut().expect("fault state");
+                fs.summary.reply_delays += 1;
+                let batch = fs.reply_batches.len() as u32;
+                fs.reply_batches.push((now, deferred));
+                self.record_fault(0, 0, 2, d.as_nanos(), now);
+                self.queue.push(now + d, Event::DeliverReplies { batch });
+            }
         }
+    }
+
+    /// A delayed reply batch arrives: apply it to every scheduler that is
+    /// still up. The brokers' sync stamp moves to the batch's generation
+    /// time (the data's true age), never backwards past a later round.
+    fn deliver_replies(&mut self, batch: u32, now: SimTime) {
+        let Some(fs) = self.faults.as_mut() else {
+            return;
+        };
+        let (generated, replies) = {
+            let entry = &mut fs.reply_batches[batch as usize];
+            (entry.0, std::mem::take(&mut entry.1))
+        };
+        for (n, dev, reply) in replies {
+            if self.node_down(n) {
+                continue;
+            }
+            self.nodes[n as usize].devs[dev]
+                .sched
+                .apply_global_service(&reply, now);
+            self.drain_sched_obs(n, dev);
+        }
+        let fs = self.faults.as_mut().expect("fault state");
+        if generated > fs.last_mark {
+            fs.last_mark = generated;
+            for b in &mut self.brokers {
+                b.mark_sync(generated);
+            }
+        }
+        self.update_all_staleness(now);
+    }
+
+    /// Bounded-backoff retry after a dark sync round: if the broker is
+    /// back, run a full sync round immediately (re-convergence starts
+    /// here, not at the next periodic sync); otherwise back off
+    /// exponentially up to `retry_limit` attempts.
+    fn broker_retry(&mut self, attempt: u32, now: SimTime) {
+        let Some(fs) = self.faults.as_mut() else {
+            return;
+        };
+        fs.summary.retries += 1;
+        let dark = fs.schedule.broker_dark(now);
+        let (backoff, limit) = (fs.retry_backoff, fs.retry_limit);
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.record(ObsEvent {
+                at: now,
+                node: 0,
+                dev: 0,
+                kind: EventKind::ReportRetry { attempt },
+            });
+        }
+        if !dark {
+            let fs = self.faults.as_mut().expect("fault state");
+            fs.retrying = false;
+            fs.sync_index += 1;
+            let idx = fs.sync_index;
+            self.sync_round(idx, now);
+            self.update_all_staleness(now);
+        } else if attempt < limit {
+            self.queue.push(
+                now + backoff * (1u64 << attempt.min(16)),
+                Event::BrokerRetry { attempt: attempt + 1 },
+            );
+        } else {
+            // Retries exhausted; the next periodic sync starts a new chain.
+            self.faults.as_mut().expect("fault state").retrying = false;
+        }
+    }
+
+    /// Re-classifies reply staleness on every live scheduler so degraded
+    /// (pure local SFQ) mode engages within one sync period of the bound
+    /// being crossed and disengages on the first fresh reply.
+    fn update_all_staleness(&mut self, now: SimTime) {
+        let Some(fs) = self.faults.as_ref() else {
+            return;
+        };
+        let bound = fs.staleness_bound;
+        for n in 0..self.nodes.len() {
+            if self.node_down(n as u32) {
+                continue;
+            }
+            for dev in 0..2 {
+                self.nodes[n].devs[dev].sched.update_staleness(now, bound);
+                if self.recorder.is_some() {
+                    self.drain_sched_obs(n as u32, dev);
+                }
+            }
+        }
+    }
+
+    /// Records a `FaultInjected` marker (no-op without a recorder).
+    fn record_fault(&mut self, node: u32, dev: u8, kind: u32, detail: u64, now: SimTime) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.record(ObsEvent {
+                at: now,
+                node,
+                dev,
+                kind: EventKind::FaultInjected { kind, detail },
+            });
+        }
+    }
+
+    // ---- fault injection: crash / restart ----------------------------------
+
+    /// An I/O aimed at a dead datanode. Remote reads fail over to a
+    /// surviving HDFS replica; shuffle pulls park until the node restarts
+    /// (map outputs have no replicas); pipeline replica writes are
+    /// acknowledged-as-failed so remote writers don't hang — the block
+    /// simply keeps fewer live replicas, as a real HDFS pipeline does when
+    /// a downstream datanode dies mid-write.
+    #[expect(clippy::too_many_arguments)]
+    fn io_on_down_node(
+        &mut self,
+        node: u32,
+        dev: usize,
+        kind: IoKind,
+        bytes: u64,
+        stream: u64,
+        app: AppId,
+        cont: Cont,
+        now: SimTime,
+    ) {
+        match cont {
+            Cont::RemoteReadDisk { bytes: rb, block, stream: rs, .. } => {
+                match self.live_replica(block) {
+                    Some(src) => {
+                        self.issue_io(
+                            src.0,
+                            IoClass::Persistent,
+                            IoKind::Read,
+                            rb,
+                            rs,
+                            app,
+                            cont,
+                            now,
+                        );
+                    }
+                    None => self.park_io(node, dev, kind, bytes, stream, app, cont),
+                }
+            }
+            Cont::PullDisk { .. } => {
+                self.park_io(node, dev, kind, bytes, stream, app, cont);
+            }
+            Cont::WritePart { .. } => {
+                self.faults
+                    .as_mut()
+                    .expect("fault state")
+                    .summary
+                    .lost_replicas += 1;
+                self.dispatch_cont(cont, now);
+            }
+            // Local task I/O on a dead node: the owning task is (being)
+            // aborted and re-queued; the credit dies with it.
+            Cont::AsyncDone { .. } | Cont::PullDone { .. } | Cont::ReplicaXfer { .. } => {}
+        }
+    }
+
+    /// The first live holder of `block`, if any replica survives.
+    fn live_replica(&self, block: u64) -> Option<NodeId> {
+        let fs = self.faults.as_ref()?;
+        let info = self.namenode.locate(BlockId(block))?;
+        info.replicas
+            .iter()
+            .copied()
+            .find(|r| fs.node_up[r.0 as usize])
+    }
+
+    /// Parks an I/O until its node restarts. Only legal when a restart is
+    /// scheduled: data with no surviving copy and no returning node is
+    /// unrecoverable, which the experiment author must fix in the
+    /// schedule, not the engine.
+    #[expect(clippy::too_many_arguments)]
+    fn park_io(
+        &mut self,
+        node: u32,
+        dev: usize,
+        kind: IoKind,
+        bytes: u64,
+        stream: u64,
+        app: AppId,
+        cont: Cont,
+    ) {
+        let fs = self.faults.as_mut().expect("parking requires fault state");
+        assert!(
+            fs.will_restart[node as usize],
+            "I/O stranded on n{node}, which crashed with no scheduled restart \
+             (shuffle outputs and fully-dead blocks cannot fail over)"
+        );
+        fs.summary.parked_ios += 1;
+        fs.parked.push(ParkedIo {
+            node,
+            dev,
+            kind,
+            bytes,
+            stream,
+            app,
+            cont,
+        });
+    }
+
+    /// A datanode dies: its running tasks abort and re-queue, its
+    /// capacity leaves the pool, the namenode stops placing new blocks on
+    /// it, and every I/O physically at the node is swept (failed over,
+    /// parked, or acknowledged-as-lost depending on kind).
+    fn node_crash(&mut self, node: u32, now: SimTime) {
+        let Some(fs) = self.faults.as_mut() else {
+            return;
+        };
+        if !fs.node_up[node as usize] {
+            return;
+        }
+        fs.node_up[node as usize] = false;
+        fs.summary.crashes += 1;
+        self.namenode.set_node_down(NodeId(node));
+        self.record_fault(node, 0, 3, 0, now);
+
+        // Abort every task running on the node and hand it back to the
+        // job manager for re-queueing on surviving nodes.
+        let mut keys = Vec::new();
+        self.tasks.keys_into(&mut keys);
+        for k in keys {
+            if self.tasks.get(k).is_none_or(|t| t.node != node) {
+                continue;
+            }
+            let mut task = self.tasks.remove(k).expect("swept task exists");
+            // Open pipeline chains and the partial output block die with
+            // the task (the re-run rewrites from scratch).
+            for (_, ck) in task.open_chains.drain(..) {
+                if let Some(mut chain) = self.chains.remove(ck) {
+                    chain.queued.clear();
+                    chain.wire_busy = false;
+                    chain.unacked = 0;
+                    self.chain_pool.push(chain);
+                }
+            }
+            if task.gather.is_some() {
+                let job = task.assignment.task.job;
+                if let Some(w) = self.gather_waiters.get_mut(job.0 as usize) {
+                    w.retain(|&s| s != k);
+                }
+            }
+            self.job_mgr.on_task_aborted(task.assignment.task);
+            self.faults
+                .as_mut()
+                .expect("fault state")
+                .summary
+                .aborted_tasks += 1;
+        }
+        // No capacity while down.
+        self.nodes[node as usize].free_cores = 0;
+        self.nodes[node as usize].free_mem = 0;
+
+        // Sweep in-flight I/O physically at the node.
+        let mut ios = Vec::new();
+        self.io_table.keys_into(&mut ios);
+        for k in ios {
+            if self.io_table.get(k).is_none_or(|c| c.node != node) {
+                continue;
+            }
+            let ctx = self.io_table.remove(k).expect("swept io exists");
+            self.io_on_down_node(
+                node,
+                ctx.dev as usize,
+                ctx.kind,
+                ctx.bytes,
+                ctx.stream,
+                ctx.app,
+                ctx.cont,
+                now,
+            );
+        }
+        // Surviving nodes pick up the re-queued tasks immediately.
+        self.try_assign_all(now);
+    }
+
+    /// A crashed datanode rejoins: cold devices and schedulers (rebuilt
+    /// exactly as `Sim::new` built them, same per-node seeds), full
+    /// capacity, parked I/O re-issued. The fresh schedulers have never
+    /// seen a broker reply, so they start Dark — pure local SFQ — until
+    /// the next sync round re-converges them.
+    fn node_restart(&mut self, node: u32, now: SimTime) {
+        let Some(fs) = self.faults.as_mut() else {
+            return;
+        };
+        if fs.node_up[node as usize] {
+            return;
+        }
+        fs.node_up[node as usize] = true;
+        fs.summary.restarts += 1;
+        let bound = fs.staleness_bound;
+        let (hdfs_refs, scratch_refs) = (fs.hdfs_refs.clone(), fs.scratch_refs.clone());
+        self.namenode.set_node_up(NodeId(node));
+        self.record_fault(node, 0, 4, 0, now);
+
+        let trace = self.cfg.trace_node == Some(node);
+        let n = &mut self.nodes[node as usize];
+        n.devs[0] = DeviceQueue {
+            device: self.cfg.hdfs_device.build(node as u64),
+            sched: build_sched(&self.cfg.policy, &hdfs_refs, trace),
+        };
+        n.devs[1] = DeviceQueue {
+            device: self.cfg.scratch_device.build(1000 + node as u64),
+            sched: build_sched(&self.cfg.policy, &scratch_refs, false),
+        };
+        n.free_cores = self.cfg.cores_per_node;
+        n.free_mem = self.cfg.memory_per_node;
+        if self.recorder.is_some() {
+            for dq in &mut self.nodes[node as usize].devs {
+                dq.sched.set_recording(true);
+            }
+        }
+        // Live applications' weights must survive the restart.
+        let weights: Vec<(AppId, f64)> = self
+            .job_mgr
+            .jobs()
+            .filter(|j| j.finished_at.is_none())
+            .map(|j| (j.id.app(), j.spec.io_weight))
+            .collect();
+        for (app, w) in weights {
+            for dq in &mut self.nodes[node as usize].devs {
+                dq.sched.set_weight(app, w);
+            }
+        }
+        // The cold schedulers are Dark from the first request: classify
+        // now so they run degraded until a reply arrives.
+        for dev in 0..2 {
+            self.nodes[node as usize].devs[dev]
+                .sched
+                .update_staleness(now, bound);
+            if self.recorder.is_some() {
+                self.drain_sched_obs(node, dev);
+            }
+        }
+        // Re-issue I/O that parked waiting for this node.
+        let fs = self.faults.as_mut().expect("fault state");
+        let mut mine = Vec::new();
+        let mut rest = Vec::new();
+        for p in fs.parked.drain(..) {
+            if p.node == node {
+                mine.push(p);
+            } else {
+                rest.push(p);
+            }
+        }
+        fs.parked = rest;
+        for p in mine {
+            self.reissue_parked(p, now);
+        }
+        self.try_assign_all(now);
+    }
+
+    /// Re-submits a parked I/O to the restarted node's cold scheduler.
+    fn reissue_parked(&mut self, p: ParkedIo, now: SimTime) {
+        let class = if p.dev == DEV_HDFS {
+            IoClass::Persistent
+        } else {
+            IoClass::Shuffle
+        };
+        self.issue_io(p.node, class, p.kind, p.bytes, p.stream, p.app, p.cont, now);
     }
 
     // ---- metrics ------------------------------------------------------------
@@ -1509,10 +2180,17 @@ impl<A: ArenaKind> Sim<A> {
     /// `cfg.metrics.enabled`, so the submit/dispatch/complete paths never
     /// pay for it.
     fn metrics_sample(&mut self, now: SimTime) {
+        let staleness_bound = self.cfg.faults.staleness_bound;
+        let node_up = self.faults.as_ref().map(|fs| fs.node_up.clone());
         let Some(m) = self.metrics.as_mut() else {
             return;
         };
         for (n, node) in self.nodes.iter().enumerate() {
+            // A down node's schedulers are about to be replaced wholesale;
+            // their last pre-crash gauges would read as live telemetry.
+            if node_up.as_ref().is_some_and(|up| !up[n]) {
+                continue;
+            }
             for (d, dq) in node.devs.iter().enumerate() {
                 m.scratch.clear();
                 dq.sched.sample_metrics(now, &mut m.scratch);
@@ -1530,15 +2208,51 @@ impl<A: ArenaKind> Sim<A> {
             m.registry
                 .gauge("broker_state_bytes", labels)
                 .set(broker.state_bytes() as f64);
-            if let Some(age) = broker.sync_age(now) {
-                m.registry
-                    .gauge("broker_sync_age_s", labels)
-                    .set(age.as_secs_f64());
+            match broker.staleness(now, staleness_bound) {
+                Staleness::Fresh(age) | Staleness::Stale(age) => {
+                    m.registry
+                        .gauge("broker_sync_age_s", labels)
+                        .set(age.as_secs_f64());
+                }
+                Staleness::Dark => {}
             }
             for (app, bytes) in broker.totals_sorted() {
                 m.registry
                     .gauge("broker_total_bytes", labels.with_app(Some(app.0)))
                     .set(bytes as f64);
+            }
+        }
+        if let Some(fs) = &self.faults {
+            let down = fs.node_up.iter().filter(|&&up| !up).count();
+            m.registry
+                .gauge("faults_nodes_down", Labels::NONE)
+                .set(down as f64);
+            m.registry
+                .gauge("faults_retries_total", Labels::NONE)
+                .set(fs.summary.retries as f64);
+            m.registry
+                .gauge("faults_report_drops_total", Labels::NONE)
+                .set(fs.summary.report_drops as f64);
+            m.registry
+                .gauge("faults_broker_outages_total", Labels::NONE)
+                .set(fs.summary.broker_outages as f64);
+            m.registry
+                .gauge("faults_aborted_tasks_total", Labels::NONE)
+                .set(fs.summary.aborted_tasks as f64);
+            // Reply-age distribution over the run: fault-free samples
+            // cluster under the sync period; outages grow the tail.
+            for (d, broker) in self.brokers.iter().enumerate() {
+                if let Staleness::Fresh(age) | Staleness::Stale(age) =
+                    broker.staleness(now, staleness_bound)
+                {
+                    m.registry
+                        .histogram(
+                            "broker_staleness_s",
+                            Labels::dev(d as u8),
+                            &STALENESS_BOUNDS_S,
+                        )
+                        .observe(age.as_secs_f64());
+                }
             }
         }
         m.registry
@@ -1628,6 +2342,17 @@ impl<A: ArenaKind> Sim<A> {
             .take()
             .map(|m| m.sampler.into_capture(m.registry.snapshot()));
 
+        let faults = self.faults.as_ref().map(|fs| {
+            let mut s = fs.summary;
+            s.degraded_entries = self
+                .nodes
+                .iter()
+                .flat_map(|n| n.devs.iter())
+                .map(|dq| dq.sched.degraded_entries())
+                .sum();
+            s
+        });
+
         RunReport {
             jobs,
             queries,
@@ -1655,6 +2380,7 @@ impl<A: ArenaKind> Sim<A> {
             reference_latencies_ms: self.reference_ms,
             recording,
             metrics,
+            faults,
         }
     }
 }
@@ -1969,5 +2695,204 @@ mod tests {
         // input reads + spills + merges + shuffle + output×3: well over
         // 4× input.
         assert!(service > 4 * GIB, "service {service}");
+    }
+
+    // ---- fault injection -------------------------------------------------
+
+    fn faults_cfg(schedule: FaultSchedule) -> ibis_faults::FaultsConfig {
+        ibis_faults::FaultsConfig {
+            enabled: true,
+            schedule,
+            ..ibis_faults::FaultsConfig::default()
+        }
+    }
+
+    #[test]
+    fn armed_but_inert_fault_schedule_does_not_perturb_results() {
+        let run = |faults: ibis_faults::FaultsConfig| {
+            let mut cfg = tiny_cluster();
+            cfg.policy = Policy::SfqD2(SfqD2Config::default());
+            cfg.coordination = true;
+            cfg.faults = faults;
+            let mut exp = Experiment::new(cfg);
+            exp.add_job(teragen(GIB));
+            exp.add_job(wordcount(GIB));
+            exp.run()
+        };
+        let off = run(ibis_faults::FaultsConfig::default());
+        // Armed subsystem, but every window opens long after the run ends:
+        // the fault-aware sync path must replay the fault-free exchange
+        // exactly.
+        let far = SimTime::from_secs(1_000_000);
+        let on = run(faults_cfg(
+            FaultSchedule::new(7)
+                .broker_outage(far, SimDuration::from_secs(10))
+                .drop_reports(far, SimDuration::from_secs(10), 2)
+                .delay_replies(far, SimDuration::from_secs(10), SimDuration::from_secs(1)),
+        ));
+        // The armed run pops the extra far-future window-edge markers never
+        // (run ends first), so event counts and timings must match.
+        assert_eq!(off.events, on.events);
+        assert_eq!(off.makespan, on.makespan);
+        for j in &off.jobs {
+            assert_eq!(Some(j.runtime), on.job(&j.name).map(|x| x.runtime));
+        }
+        assert!(off.faults.is_none(), "disabled runs report no fault summary");
+        let s = on.faults.expect("armed runs report a fault summary");
+        assert_eq!(s.broker_outages, 0);
+        assert_eq!(s.report_drops, 0);
+        assert_eq!(s.reply_delays, 0);
+        assert_eq!(s.retries, 0);
+        assert_eq!(s.crashes, 0);
+        assert_eq!(s.lost_replicas, 0);
+    }
+
+    #[test]
+    fn broker_outage_degrades_then_reconverges() {
+        let mut cfg = tiny_cluster();
+        cfg.policy = Policy::SfqD2(SfqD2Config::default());
+        cfg.coordination = true;
+        cfg.obs = ibis_obs::ObsConfig::enabled(1 << 18);
+        cfg.faults = ibis_faults::FaultsConfig {
+            enabled: true,
+            staleness_bound: SimDuration::from_secs(2),
+            schedule: FaultSchedule::new(1)
+                .broker_outage(SimTime::from_secs(3), SimDuration::from_secs(6)),
+            ..ibis_faults::FaultsConfig::default()
+        };
+        let mut exp = Experiment::new(cfg);
+        exp.add_job(teragen(2 * GIB).io_weight(4.0).max_slots(8));
+        exp.add_job(wordcount(2 * GIB).max_slots(8));
+        let r = exp.run();
+        assert_eq!(r.jobs.len(), 2, "both jobs survive the outage");
+        let s = r.faults.expect("fault summary");
+        assert!(s.broker_outages > 0, "outage rounds counted: {s:?}");
+        assert!(s.retries > 0, "retry chain ran: {s:?}");
+        assert!(s.degraded_entries > 0, "schedulers fell back: {s:?}");
+
+        let rec = r.recording.expect("recording");
+        // Degradation engages once replies age past the 2 s bound inside
+        // the outage window [3 s, 9 s).
+        assert!(
+            rec.events().iter().any(|e| matches!(
+                e.kind,
+                EventKind::DegradedEnter { .. }
+            ) && e.at >= SimTime::from_secs(4)
+                && e.at <= SimTime::from_secs(9)),
+            "no degraded entry inside the outage window"
+        );
+        // Re-convergence: the first successful sync after recovery (t=9 s)
+        // lifts degraded mode within two sync periods.
+        let exits: Vec<SimTime> = rec
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::DegradedExit { .. }))
+            .map(|e| e.at)
+            .collect();
+        assert!(
+            exits.iter().any(|&at| at <= SimTime::from_secs(11)),
+            "no re-convergence within two sync periods of recovery: {exits:?}"
+        );
+        // Invariant 4: while degraded, schedulers charge no DSFQ delay.
+        let mut report = ibis_obs::audit(&rec, &ibis_obs::AuditConfig::default());
+        assert!(report.passed(), "audit failed: {}", report.summary());
+        assert!(report.degraded_marks > 0, "auditor saw the degraded spans");
+    }
+
+    #[test]
+    fn node_crash_and_restart_completes_with_requeued_tasks() {
+        let mut cfg = tiny_cluster();
+        cfg.faults = faults_cfg(FaultSchedule::new(2).node_crash(
+            1,
+            SimTime::from_secs(3),
+            Some(SimDuration::from_secs(5)),
+        ));
+        let mut exp = Experiment::new(cfg);
+        exp.add_job(terasort(2 * GIB));
+        let r = exp.run();
+        assert_eq!(r.jobs.len(), 1, "terasort finishes despite the crash");
+        let s = r.faults.expect("fault summary");
+        assert_eq!(s.crashes, 1);
+        assert_eq!(s.restarts, 1);
+        assert!(s.aborted_tasks > 0, "crash at t=3 s aborts running tasks");
+    }
+
+    #[test]
+    fn node_crash_without_restart_finishes_on_survivors() {
+        let mut cfg = tiny_cluster();
+        cfg.faults =
+            faults_cfg(FaultSchedule::new(3).node_crash(2, SimTime::from_secs(3), None));
+        let mut exp = Experiment::new(cfg);
+        // 2 GiB → 16 maps, so every node (including n2) is busy writing
+        // replicated output when the crash lands.
+        exp.add_job(teragen(2 * GIB));
+        let r = exp.run();
+        assert_eq!(r.jobs.len(), 1, "teragen finishes on 3 surviving nodes");
+        let s = r.faults.expect("fault summary");
+        assert_eq!(s.crashes, 1);
+        assert_eq!(s.restarts, 0);
+        assert!(s.aborted_tasks > 0, "n2's running maps re-queue: {s:?}");
+        assert!(
+            s.lost_replicas > 0,
+            "pipeline writes at the dead node ack as failed: {s:?}"
+        );
+    }
+
+    #[test]
+    fn device_slowdown_stretches_makespan() {
+        let base = {
+            let mut exp = Experiment::new(tiny_cluster());
+            exp.add_job(teragen(GIB));
+            exp.run()
+        };
+        let slow = {
+            let mut cfg = tiny_cluster();
+            // 4× straggler on every node's HDFS device for the whole run.
+            let mut sched = FaultSchedule::new(4);
+            for n in 0..4 {
+                sched = sched.device_slowdown(
+                    n,
+                    0,
+                    4.0,
+                    SimTime::ZERO,
+                    SimDuration::from_secs(3600),
+                );
+            }
+            cfg.faults = faults_cfg(sched);
+            let mut exp = Experiment::new(cfg);
+            exp.add_job(teragen(GIB));
+            exp.run()
+        };
+        assert!(
+            slow.makespan > base.makespan,
+            "straggler windows must cost time: {:?} !> {:?}",
+            slow.makespan,
+            base.makespan
+        );
+    }
+
+    #[test]
+    fn dropped_and_delayed_reports_do_not_wedge_the_run() {
+        let mut cfg = tiny_cluster();
+        cfg.policy = Policy::SfqD2(SfqD2Config::default());
+        cfg.coordination = true;
+        cfg.faults = faults_cfg(
+            FaultSchedule::new(5)
+                .drop_reports(SimTime::ZERO, SimDuration::from_secs(3600), 2)
+                .delay_replies(
+                    SimTime::from_secs(4),
+                    SimDuration::from_secs(4),
+                    SimDuration::from_millis(2500),
+                ),
+        );
+        let mut exp = Experiment::new(cfg);
+        exp.add_job(teragen(2 * GIB));
+        exp.add_job(wordcount(GIB));
+        let r = exp.run();
+        assert_eq!(r.jobs.len(), 2);
+        let s = r.faults.expect("fault summary");
+        assert!(s.report_drops > 0, "one-in-two drops must hit: {s:?}");
+        assert!(s.reply_delays > 0, "delay window must defer a round: {s:?}");
+        assert!(r.broker.reports > 0, "surviving reports still reach the broker");
     }
 }

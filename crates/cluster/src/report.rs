@@ -36,6 +36,35 @@ pub struct QuerySummary {
     pub runtime: SimDuration,
 }
 
+/// Chaos-run accounting, present only when fault injection was active
+/// (`ClusterConfig::faults`): what was injected and how the cluster
+/// reacted. `None` in fault-free runs, so enabling the subsystem without
+/// a schedule cannot change a report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Broker sync rounds that found the broker unreachable.
+    pub broker_outages: u64,
+    /// Report messages dropped in flight.
+    pub report_drops: u64,
+    /// Sync rounds whose replies were delivered late.
+    pub reply_delays: u64,
+    /// Report retry attempts (bounded backoff) after failed rounds.
+    pub retries: u64,
+    /// Datanode crashes injected.
+    pub crashes: u64,
+    /// Datanode restarts completed.
+    pub restarts: u64,
+    /// Running tasks aborted by crashes and re-queued.
+    pub aborted_tasks: u64,
+    /// Pipeline replica writes acknowledged-as-failed because the target
+    /// datanode was down (durability reduced for those blocks).
+    pub lost_replicas: u64,
+    /// In-flight I/Os parked at a crashed node and re-issued on restart.
+    pub parked_ios: u64,
+    /// Times any scheduler entered degraded (pure local SFQ) mode.
+    pub degraded_entries: u64,
+}
+
 /// Everything a bench binary needs to print a paper figure.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -85,6 +114,9 @@ pub struct RunReport {
     /// `ibis_metrics::csv::export`, `ibis_metrics::prometheus::encode`
     /// (via the snapshot), or `ibis_metrics::convergence::diagnose`.
     pub metrics: Option<ibis_metrics::MetricsCapture>,
+    /// Fault-injection accounting, when a fault schedule was active
+    /// (`ClusterConfig::faults`).
+    pub faults: Option<FaultSummary>,
 }
 
 impl RunReport {
@@ -119,6 +151,21 @@ impl RunReport {
             .get(&app)
             .and_then(|h| h.quantile(q))
             .map(|ns| ns as f64 / 1e6)
+    }
+
+    /// Jain's fairness index of `values`: 1.0 when all are equal, 1/n at
+    /// maximal concentration. Empty or all-zero input yields 0.0. Feed it
+    /// weight-normalised per-app service to score proportional sharing.
+    pub fn jain_index(values: &[f64]) -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = values.iter().sum();
+        let sq: f64 = values.iter().map(|v| v * v).sum();
+        if sq == 0.0 {
+            return 0.0;
+        }
+        (sum * sum) / (values.len() as f64 * sq)
     }
 
     /// Mean total throughput (bytes/sec) over the run: all I/O divided by
@@ -158,6 +205,15 @@ mod tests {
         });
         assert_eq!(r.runtime_secs("WordCount"), Some(10.0));
         assert!(r.job("TeraGen").is_none());
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert_eq!(RunReport::jain_index(&[]), 0.0);
+        assert_eq!(RunReport::jain_index(&[0.0, 0.0]), 0.0);
+        assert!((RunReport::jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One app hogging everything: index → 1/n.
+        assert!((RunReport::jain_index(&[9.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -29,6 +29,42 @@ const ENTRY_BYTES: u64 = 12;
 /// Fixed header per report or reply message.
 const HEADER_BYTES: u64 = 16;
 
+/// How trustworthy a broker's total-service information currently is.
+///
+/// Raw [`SchedulingBroker::sync_age`] returns `Option<SimDuration>`, and
+/// several consumers misread `None` ("never synced — totals may be
+/// arbitrarily wrong") as "freshly synced". This enum makes the three
+/// regimes explicit so callers must handle each.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Staleness {
+    /// A sync completed within the bound; totals are current enough for
+    /// the DSFQ delay rule.
+    Fresh(SimDuration),
+    /// The last sync is older than the bound; totals are suspect and the
+    /// scheduler should degrade to pure local fairness.
+    Stale(SimDuration),
+    /// No sync has ever completed — the broker is dark (or coordination
+    /// never started). There is no total-service information at all.
+    Dark,
+}
+
+impl Staleness {
+    /// Should a scheduler still apply broker totals in this state? `Dark`
+    /// counts as degraded: before the first sync there is nothing to
+    /// delay against, which is exactly the pure-local-SFQ regime.
+    pub fn usable(self) -> bool {
+        matches!(self, Staleness::Fresh(_))
+    }
+
+    /// The age of the information, when any exists.
+    pub fn age(self) -> Option<SimDuration> {
+        match self {
+            Staleness::Fresh(a) | Staleness::Stale(a) => Some(a),
+            Staleness::Dark => None,
+        }
+    }
+}
+
 /// Overhead counters for the coordination plane.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BrokerStats {
@@ -116,6 +152,19 @@ impl SchedulingBroker {
         self.last_sync.map(|t| now.saturating_since(t))
     }
 
+    /// Classifies the totals' trustworthiness against `bound`: `Dark`
+    /// before any sync, `Stale` when the last sync is older than `bound`,
+    /// `Fresh` otherwise. Prefer this over [`sync_age`](Self::sync_age)
+    /// when deciding behaviour — it cannot conflate "never synced" with
+    /// "just synced".
+    pub fn staleness(&self, now: SimTime, bound: SimDuration) -> Staleness {
+        match self.sync_age(now) {
+            None => Staleness::Dark,
+            Some(age) if age > bound => Staleness::Stale(age),
+            Some(age) => Staleness::Fresh(age),
+        }
+    }
+
     /// All `(app, total bytes)` pairs, sorted by app id for deterministic
     /// iteration (the underlying map is unordered).
     pub fn totals_sorted(&self) -> Vec<(AppId, u64)> {
@@ -195,6 +244,30 @@ mod tests {
             broker.sync_age(SimTime::from_secs(5)),
             Some(SimDuration::from_secs(2))
         );
+    }
+
+    #[test]
+    fn staleness_distinguishes_dark_stale_fresh() {
+        use ibis_simcore::{SimDuration, SimTime};
+        let bound = SimDuration::from_secs(3);
+        let mut broker = SchedulingBroker::new();
+        let s = broker.staleness(SimTime::from_secs(100), bound);
+        assert_eq!(s, Staleness::Dark);
+        assert!(!s.usable());
+        assert_eq!(s.age(), None);
+
+        broker.mark_sync(SimTime::from_secs(100));
+        let s = broker.staleness(SimTime::from_secs(102), bound);
+        assert_eq!(s, Staleness::Fresh(SimDuration::from_secs(2)));
+        assert!(s.usable());
+
+        // Exactly at the bound is still fresh; past it is stale.
+        let s = broker.staleness(SimTime::from_secs(103), bound);
+        assert!(s.usable());
+        let s = broker.staleness(SimTime::from_secs(104), bound);
+        assert_eq!(s, Staleness::Stale(SimDuration::from_secs(4)));
+        assert!(!s.usable());
+        assert_eq!(s.age(), Some(SimDuration::from_secs(4)));
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod slab;
 pub mod strict;
 
 pub use baselines::{CgroupThrottle, CgroupWeight, Fifo};
-pub use broker::{BrokerStats, SchedulingBroker};
+pub use broker::{BrokerStats, SchedulingBroker, Staleness};
 pub use controller::{ControllerConfig, DepthController};
 pub use intern::{Symbol, SymbolTable};
 pub use request::{AppId, IoClass, IoKind, Request};

@@ -178,6 +178,25 @@ pub trait IoScheduler {
     /// so the per-node recording preserves true processing order.
     fn take_events(&mut self, _sink: &mut Vec<(SimTime, ibis_obs::EventKind)>) {}
 
+    /// Re-evaluates broker-total staleness against `bound` and toggles
+    /// graceful degradation: a coordinating scheduler whose last applied
+    /// sync is older than the bound (or that never saw one) must stop
+    /// charging DSFQ delays — falling back to pure local fairness — until
+    /// fresh totals arrive. The engine calls this only when fault
+    /// injection is active, so fault-free runs never take the branch.
+    /// Non-coordinating schedulers ignore it.
+    fn update_staleness(&mut self, _now: SimTime, _bound: SimDuration) {}
+
+    /// True while the scheduler is in degraded (pure-local) mode.
+    fn is_degraded(&self) -> bool {
+        false
+    }
+
+    /// How many times this scheduler has entered degraded mode.
+    fn degraded_entries(&self) -> u64 {
+        0
+    }
+
     /// Appends the scheduler's current state as telemetry samples. Called
     /// by the engine's metrics sampler on its virtual-time cadence — never
     /// from the submit/dispatch/complete paths, so schedulers pay nothing

@@ -21,6 +21,7 @@
 //! weight ratio. With no broker attached `δ` is always zero and this is
 //! exactly classic SFQ(D).
 
+use crate::broker::Staleness;
 use crate::request::{AppId, IoKind, Request};
 use crate::scheduler::{IoScheduler, SchedStats};
 use ibis_obs::{EventBuf, EventKind};
@@ -171,6 +172,18 @@ pub struct SfqD {
     /// Virtual time of the last broker sync applied, for staleness
     /// telemetry.
     last_sync: Option<SimTime>,
+    /// Graceful degradation (fault injection): while set, arrivals charge
+    /// zero DSFQ delay — pure local SFQ(D) — because the broker totals
+    /// are stale. Unconsumed foreign service stays pending and is charged
+    /// after recovery.
+    degraded: bool,
+    /// When the current degraded episode began.
+    degraded_since: Option<SimTime>,
+    /// Degraded episodes entered, cumulative.
+    degraded_entries: u64,
+    /// Set on the first `update_staleness` call — i.e. only in fault
+    /// runs — so fault-free metrics output is unchanged.
+    staleness_tracked: bool,
 }
 
 impl SfqD {
@@ -187,6 +200,10 @@ impl SfqD {
             stats: SchedStats::default(),
             obs: EventBuf::new(),
             last_sync: None,
+            degraded: false,
+            degraded_since: None,
+            degraded_entries: 0,
+            staleness_tracked: false,
         }
     }
 
@@ -268,14 +285,21 @@ impl IoScheduler for SfqD {
         self.next_seq += 1;
 
         let fi = self.flows.intern(req.app);
+        let degraded = self.degraded;
         let flow = &mut self.flows.flows[fi];
         // DSFQ: consume the foreign service observed since this flow's
-        // previous local arrival.
-        let foreign = flow.foreign_total - flow.foreign_consumed;
-        flow.foreign_consumed = flow.foreign_total;
-        let delay = match cap {
-            Some(c) => foreign.min(c),
-            None => foreign,
+        // previous local arrival. While degraded the totals are stale, so
+        // nothing is consumed or charged (pure local SFQ); the pending
+        // foreign service is charged after the broker recovers.
+        let delay = if degraded {
+            0
+        } else {
+            let foreign = flow.foreign_total - flow.foreign_consumed;
+            flow.foreign_consumed = flow.foreign_total;
+            match cap {
+                Some(c) => foreign.min(c),
+                None => foreign,
+            }
         };
         let start = vtime.max(flow.finish_tag + delay as f64 / flow.weight);
         let finish = start + req.bytes as f64 / flow.weight;
@@ -383,6 +407,47 @@ impl IoScheduler for SfqD {
         &self.stats
     }
 
+    fn update_staleness(&mut self, now: SimTime, bound: SimDuration) {
+        self.staleness_tracked = true;
+        let staleness = match self.last_sync {
+            None => Staleness::Dark,
+            Some(t) => {
+                let age = now.saturating_since(t);
+                if age > bound {
+                    Staleness::Stale(age)
+                } else {
+                    Staleness::Fresh(age)
+                }
+            }
+        };
+        if staleness.usable() {
+            if self.degraded {
+                self.degraded = false;
+                let since = self.degraded_since.take();
+                if self.obs.enabled() {
+                    let dark_ns = since.map_or(0, |t| now.saturating_since(t).as_nanos());
+                    self.obs.push(now, EventKind::DegradedExit { dark_ns });
+                }
+            }
+        } else if !self.degraded {
+            self.degraded = true;
+            self.degraded_since = Some(now);
+            self.degraded_entries += 1;
+            if self.obs.enabled() {
+                let age_ns = staleness.age().map_or(u64::MAX, |a| a.as_nanos());
+                self.obs.push(now, EventKind::DegradedEnter { age_ns });
+            }
+        }
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    fn degraded_entries(&self) -> u64 {
+        self.degraded_entries
+    }
+
     fn current_depth(&self) -> Option<u32> {
         Some(self.cfg.depth)
     }
@@ -403,6 +468,18 @@ impl IoScheduler for SfqD {
         out.push(Sample::global("sfq_vtime", self.vtime));
         if let Some(age) = self.last_sync.map(|t| now.saturating_since(t)) {
             out.push(Sample::global("sfq_sync_age_s", age.as_secs_f64()));
+        }
+        // Degradation telemetry only exists in fault runs, so fault-free
+        // metrics exports stay byte-identical.
+        if self.staleness_tracked {
+            out.push(Sample::global(
+                "sfq_degraded",
+                if self.degraded { 1.0 } else { 0.0 },
+            ));
+            out.push(Sample::global(
+                "sfq_degraded_entries",
+                self.degraded_entries as f64,
+            ));
         }
         for (app, flow) in self.flows.iter() {
             let a = app.0;
@@ -771,6 +848,73 @@ mod tests {
         assert_eq!(s.backlog(B), 1);
         let _ = s.pop_dispatch(SimTime::ZERO).unwrap();
         assert_eq!(s.backlog(A) + s.backlog(B), 2);
+    }
+
+    #[test]
+    fn degraded_mode_charges_no_delay_and_defers_foreign() {
+        let bound = SimDuration::from_secs(3);
+        let mut s = SfqD::new(SfqConfig { depth: 1, ..Default::default() });
+        s.set_weight(A, 1.0);
+        s.set_weight(B, 1.0);
+        // Sync at t=0: A has 1000 B of foreign service pending.
+        s.apply_global_service(&[(A, 1000)], SimTime::ZERO);
+        assert!(!s.is_degraded());
+        // Broker goes dark; by t=5 the totals exceed the 3 s bound.
+        s.update_staleness(SimTime::from_secs(5), bound);
+        assert!(s.is_degraded());
+        // Degraded arrivals: A pays nothing despite the pending foreign.
+        s.submit(req(0, A, 100), SimTime::from_secs(5));
+        s.submit(req(100, B, 100), SimTime::from_secs(5));
+        let f = s.flows.get(A).unwrap();
+        assert_eq!(f.finish_tag, 100.0, "no DSFQ delay while degraded");
+        assert_eq!(f.foreign_consumed, 0, "foreign stays pending");
+        // Broker recovers at t=6; the pending foreign is charged on the
+        // next arrival — re-convergence.
+        s.apply_global_service(&[(A, 1000)], SimTime::from_secs(6));
+        s.update_staleness(SimTime::from_secs(6), bound);
+        assert!(!s.is_degraded());
+        s.submit(req(1, A, 100), SimTime::from_secs(6));
+        let f = s.flows.get(A).unwrap();
+        // S = max(v, F_prev + 1000/1) = 1100, F = 1200.
+        assert_eq!(f.finish_tag, 1200.0, "deferred foreign charged on recovery");
+    }
+
+    #[test]
+    fn degraded_without_any_sync_is_dark() {
+        let mut s = SfqD::new(SfqConfig::default());
+        s.update_staleness(SimTime::from_secs(1), SimDuration::from_secs(3));
+        assert!(s.is_degraded(), "never-synced scheduler must degrade");
+        s.apply_global_service(&[(A, 10)], SimTime::from_secs(2));
+        s.update_staleness(SimTime::from_secs(2), SimDuration::from_secs(3));
+        assert!(!s.is_degraded());
+    }
+
+    #[test]
+    fn degraded_transitions_emit_obs_markers() {
+        let mut s = SfqD::new(SfqConfig::default());
+        s.set_recording(true);
+        let bound = SimDuration::from_secs(3);
+        s.apply_global_service(&[(A, 10)], SimTime::ZERO);
+        s.update_staleness(SimTime::from_secs(10), bound); // stale → enter
+        s.update_staleness(SimTime::from_secs(11), bound); // still stale → no-op
+        s.apply_global_service(&[(A, 20)], SimTime::from_secs(12));
+        s.update_staleness(SimTime::from_secs(12), bound); // fresh → exit
+        let mut out = Vec::new();
+        s.take_events(&mut out);
+        let markers: Vec<&EventKind> = out
+            .iter()
+            .map(|(_, k)| k)
+            .filter(|k| {
+                matches!(k, EventKind::DegradedEnter { .. } | EventKind::DegradedExit { .. })
+            })
+            .collect();
+        assert_eq!(markers.len(), 2, "{out:?}");
+        assert!(
+            matches!(markers[0], EventKind::DegradedEnter { age_ns } if *age_ns == 10_000_000_000)
+        );
+        assert!(
+            matches!(markers[1], EventKind::DegradedExit { dark_ns } if *dark_ns == 2_000_000_000)
+        );
     }
 
     #[test]

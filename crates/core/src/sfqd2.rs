@@ -138,6 +138,18 @@ impl IoScheduler for SfqD2 {
         self.inner.stats()
     }
 
+    fn update_staleness(&mut self, now: SimTime, bound: SimDuration) {
+        self.inner.update_staleness(now, bound);
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.inner.is_degraded()
+    }
+
+    fn degraded_entries(&self) -> u64 {
+        self.inner.degraded_entries()
+    }
+
     fn depth_trace(&self) -> Option<&GaugeTrace> {
         self.trace.then_some(&self.depth_trace)
     }

@@ -11,8 +11,10 @@
 //!   allocates again.
 //! * Every slot carries a *generation* bumped on each free. A key is the
 //!   `(index, generation)` pair, so a stale key — one held across its
-//!   entry's removal and the slot's reuse — is detected and panics
-//!   instead of silently aliasing the new occupant.
+//!   entry's removal and the slot's reuse — resolves to `None` instead
+//!   of silently aliasing the new occupant. Fault injection leans on
+//!   this: a node crash sweeps a task or I/O out from under in-flight
+//!   continuations, whose later lookups then miss harmlessly.
 //! * Keys are strongly typed via the [`slab_key!`] macro ([`IoKey`],
 //!   [`TaskKey`], …), so an I/O id cannot be handed to the task table.
 //! * A key packs losslessly into a `u64` ([`SlabKey::encode`] /
@@ -115,9 +117,10 @@ pub trait Arena<K: SlabKey, V>: Default {
     /// Stores `value` and returns its key. Reuses the most recently freed
     /// slot (LIFO) or appends a new one.
     fn insert(&mut self, value: V) -> K;
-    /// The live entry for `key`, or `None` if it was removed and the slot
-    /// has not been reused. Panics on a stale key (slot reused under a
-    /// newer generation) or a foreign key (index never allocated).
+    /// The live entry for `key`, or `None` if it was removed — whether or
+    /// not the slot was since reused under a newer generation. Panics
+    /// only on a foreign key (index never allocated), which is always an
+    /// engine bug.
     fn get(&self, key: K) -> Option<&V>;
     /// Mutable [`Arena::get`].
     fn get_mut(&mut self, key: K) -> Option<&mut V>;
@@ -130,12 +133,12 @@ pub trait Arena<K: SlabKey, V>: Default {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
-}
-
-#[cold]
-#[inline(never)]
-fn stale_key(key: impl fmt::Debug, live: u32) -> ! {
-    panic!("stale slab key {key:?}: slot reused (live generation {live})")
+    /// Appends every live key to `out` in slot-index order. Index order is
+    /// identical on both backends regardless of hash state, so fault
+    /// handling that sweeps a table (e.g. aborting a crashed node's
+    /// in-flight I/O) stays deterministic. A full scan — keep it off the
+    /// per-event hot paths.
+    fn keys_into(&self, out: &mut Vec<K>);
 }
 
 #[cold]
@@ -196,7 +199,7 @@ impl<K: SlabKey, V> Arena<K, V> for Slab<K, V> {
                 if *generation == key.generation() {
                     Some(value)
                 } else {
-                    stale_key(key, *generation)
+                    None
                 }
             }
             Some(Slot::Vacant { .. }) => None,
@@ -211,7 +214,7 @@ impl<K: SlabKey, V> Arena<K, V> for Slab<K, V> {
                 if *generation == key.generation() {
                     Some(value)
                 } else {
-                    stale_key(key, *generation)
+                    None
                 }
             }
             Some(Slot::Vacant { .. }) => None,
@@ -228,7 +231,7 @@ impl<K: SlabKey, V> Arena<K, V> for Slab<K, V> {
         match slot {
             Slot::Occupied { generation, .. } => {
                 if *generation != key.generation() {
-                    stale_key(key, *generation);
+                    return None;
                 }
             }
             Slot::Vacant { .. } => return None,
@@ -246,6 +249,14 @@ impl<K: SlabKey, V> Arena<K, V> for Slab<K, V> {
 
     fn len(&self) -> usize {
         self.len
+    }
+
+    fn keys_into(&self, out: &mut Vec<K>) {
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Slot::Occupied { generation, .. } = slot {
+                out.push(K::from_parts(i as u32, *generation));
+            }
+        }
     }
 }
 
@@ -286,7 +297,7 @@ impl<K: SlabKey, V> HashSlab<K, V> {
                 if *generation == key.generation() {
                     Some(key.encode())
                 } else {
-                    stale_key(key, *generation)
+                    None
                 }
             }
             Some(HashSlot::Vacant { .. }) => None,
@@ -334,6 +345,16 @@ impl<K: SlabKey, V> Arena<K, V> for HashSlab<K, V> {
 
     fn len(&self) -> usize {
         self.map.len()
+    }
+
+    fn keys_into(&self, out: &mut Vec<K>) {
+        // Scan the occupancy mirror, not the map: index order on both
+        // backends, independent of hash iteration order.
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let HashSlot::Occupied { generation } = slot {
+                out.push(K::from_parts(i as u32, *generation));
+            }
+        }
     }
 }
 
@@ -428,23 +449,56 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "stale slab key")]
-    fn slab_stale_key_panics() {
-        let mut t = Slab::<TestKey, u32>::default();
-        let a = t.insert(1);
-        t.remove(a);
-        t.insert(2); // reuses a's slot under a new generation
-        t.get(a);
+    fn backends_iterate_keys_in_identical_order() {
+        let mut slab = Slab::<TestKey, u32>::default();
+        let mut hash = HashSlab::<TestKey, u32>::default();
+        let mut live = Vec::new();
+        for i in 0..50u32 {
+            let (a, b) = (slab.insert(i), hash.insert(i));
+            assert_eq!(a, b);
+            live.push(a);
+            if i % 4 == 1 {
+                let k = live.remove((i as usize) % live.len());
+                slab.remove(k);
+                hash.remove(k);
+            }
+        }
+        let (mut ks, mut kh) = (Vec::new(), Vec::new());
+        slab.keys_into(&mut ks);
+        hash.keys_into(&mut kh);
+        assert_eq!(ks, kh, "key sweeps must match across backends");
+        assert_eq!(ks.len(), slab.len());
+        // Index order, and every key resolves.
+        assert!(ks.windows(2).all(|w| w[0].index() < w[1].index()));
+        for k in ks {
+            assert_eq!(slab.get(k), hash.get(k));
+            assert!(slab.get(k).is_some());
+        }
     }
 
     #[test]
-    #[should_panic(expected = "stale slab key")]
-    fn hash_slab_stale_key_panics() {
+    fn slab_stale_key_misses() {
+        let mut t = Slab::<TestKey, u32>::default();
+        let a = t.insert(1);
+        t.remove(a);
+        let b = t.insert(2); // reuses a's slot under a new generation
+        assert_eq!(t.get(a), None, "stale key must not alias the new occupant");
+        assert_eq!(t.get_mut(a), None);
+        assert_eq!(t.remove(a), None);
+        assert_eq!(t.get(b), Some(&2), "live entry untouched by stale probes");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn hash_slab_stale_key_misses() {
         let mut t = HashSlab::<TestKey, u32>::default();
         let a = t.insert(1);
         t.remove(a);
-        t.insert(2);
-        t.remove(a);
+        let b = t.insert(2);
+        assert_eq!(t.get(a), None);
+        assert_eq!(t.remove(a), None);
+        assert_eq!(t.get(b), Some(&2));
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Property-based tests of the scheduling broker (§5): per-app totals are
-//! monotone, retiring an app frees its state, and a retired app can come
-//! back and accumulate from zero as if newly seen.
+//! monotone, invariant under reordering of reports within a sync period,
+//! retiring an app frees its state, and a retired app can come back and
+//! accumulate from zero as if newly seen.
 
 use ibis_core::broker::SchedulingBroker;
 use ibis_core::prelude::*;
@@ -100,5 +101,48 @@ proptest! {
         for (&app, &expect) in &sums {
             prop_assert_eq!(broker.total(app), Some(expect));
         }
+    }
+
+    #[test]
+    fn totals_invariant_under_report_reordering(
+        original in prop::collection::vec(
+            prop::collection::vec((0u8..4, 1u32..100_000), 1..4), 1..12,
+        ),
+        shuffle_seed in 0u64..u64::MAX,
+    ) {
+        // The fault model reorders report arrivals within a sync period
+        // (drops + retries + delays). Whatever order the per-node reports
+        // land in, the broker's end-of-period totals — the values every
+        // scheduler's DSFQ delay is computed from — must be identical.
+        // Fisher–Yates with a splitmix64 stream (the vendored proptest
+        // shim has no prop_shuffle).
+        let mut shuffled = original.clone();
+        let mut state = shuffle_seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, (next() % (i as u64 + 1)) as usize);
+        }
+        let apply = |order: &[Vec<(u8, u32)>]| {
+            let mut broker = SchedulingBroker::new();
+            for node_report in order {
+                let local: Vec<(AppId, u64)> = node_report
+                    .iter()
+                    .map(|&(a, b)| (AppId(a as u32), b as u64))
+                    .collect();
+                broker.report(&local);
+            }
+            let mut totals: Vec<(u32, u64)> = (0..4u32)
+                .filter_map(|a| broker.total(AppId(a)).map(|t| (a, t)))
+                .collect();
+            totals.sort_unstable();
+            totals
+        };
+        prop_assert_eq!(apply(&original), apply(&shuffled));
     }
 }

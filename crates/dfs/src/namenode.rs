@@ -58,6 +58,12 @@ pub struct Namenode {
     blocks: HashMap<BlockId, BlockInfo>,
     files: HashMap<String, Vec<BlockId>>,
     next_block: u64,
+    /// Datanode liveness, as seen through missed heartbeats. Placement
+    /// skips down nodes; `down_count == 0` (the fault-free case) keeps the
+    /// fast path — and the RNG consumption — byte-identical to a build
+    /// without fault support.
+    down: Vec<bool>,
+    down_count: u32,
     /// Flight-recorder placement events. The namenode has no clock, so
     /// events are buffered untimed and the engine stamps them on drain.
     obs_enabled: bool,
@@ -75,11 +81,13 @@ impl Namenode {
         );
         let rng = SimRng::new(cfg.seed);
         Namenode {
+            down: vec![false; cfg.nodes as usize],
             cfg,
             rng,
             blocks: HashMap::new(),
             files: HashMap::new(),
             next_block: 0,
+            down_count: 0,
             obs_enabled: false,
             obs: Vec::new(),
         }
@@ -133,11 +141,46 @@ impl Namenode {
         }
     }
 
-    /// Picks `extra` distinct nodes different from `primary`.
+    /// Picks `extra` distinct nodes different from `primary`. While any
+    /// datanode is marked down it is excluded from the pool (so new blocks
+    /// never land on a dead node); with every node up the pool — and the
+    /// RNG consumption — is exactly the fault-free one.
     fn pick_secondaries(&mut self, primary: NodeId, extra: usize) -> Vec<NodeId> {
-        let pool: Vec<u32> = (0..self.cfg.nodes).filter(|&n| n != primary.0).collect();
+        let pool: Vec<u32> = if self.down_count == 0 {
+            (0..self.cfg.nodes).filter(|&n| n != primary.0).collect()
+        } else {
+            (0..self.cfg.nodes)
+                .filter(|&n| n != primary.0 && !self.down[n as usize])
+                .collect()
+        };
         let idx = self.rng.sample_indices(pool.len(), extra.min(pool.len()));
         idx.into_iter().map(|i| NodeId(pool[i])).collect()
+    }
+
+    /// Marks a datanode dead: it stops receiving new replicas until
+    /// [`set_node_up`](Self::set_node_up). Existing block metadata is kept
+    /// — readers consult [`locate`](Self::locate) plus
+    /// [`is_up`](Self::is_up) to pick a live replica.
+    pub fn set_node_down(&mut self, node: NodeId) {
+        assert!(node.0 < self.cfg.nodes, "unknown node {node}");
+        if !self.down[node.0 as usize] {
+            self.down[node.0 as usize] = true;
+            self.down_count += 1;
+        }
+    }
+
+    /// Marks a datanode live again after a restart.
+    pub fn set_node_up(&mut self, node: NodeId) {
+        assert!(node.0 < self.cfg.nodes, "unknown node {node}");
+        if self.down[node.0 as usize] {
+            self.down[node.0 as usize] = false;
+            self.down_count -= 1;
+        }
+    }
+
+    /// Whether a datanode is currently considered live.
+    pub fn is_up(&self, node: NodeId) -> bool {
+        !self.down[node.0 as usize]
     }
 
     fn register_block(&mut self, bytes: u64, primary: NodeId) -> BlockId {
@@ -342,6 +385,40 @@ mod tests {
         n.set_recording(false);
         n.take_placements(&mut again);
         assert!(again.is_empty());
+    }
+
+    #[test]
+    fn down_nodes_excluded_from_new_placements() {
+        let mut n = nn(4);
+        n.set_node_down(NodeId(2));
+        assert!(!n.is_up(NodeId(2)));
+        for writer in [0u32, 1, 3] {
+            let info = n.allocate_block(NodeId(writer), 128 * MIB);
+            assert!(
+                !info.replicas.contains(&NodeId(2)),
+                "replica on a dead node: {info:?}"
+            );
+        }
+        n.set_node_up(NodeId(2));
+        assert!(n.is_up(NodeId(2)));
+    }
+
+    #[test]
+    fn liveness_marks_do_not_disturb_placement_when_all_up() {
+        // Marking a node down and back up must leave future placements
+        // exactly where an untouched namenode would put them.
+        let mut a = nn(8);
+        let mut b = nn(8);
+        b.set_node_down(NodeId(5));
+        b.set_node_up(NodeId(5));
+        let ba = a.create_file("f", 20 * 128 * MIB);
+        let bb = b.create_file("f", 20 * 128 * MIB);
+        let reps = |n: &Namenode, ids: &[BlockId]| {
+            ids.iter()
+                .map(|&i| n.locate(i).unwrap().replicas.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(reps(&a, &ba), reps(&b, &bb));
     }
 
     #[test]

@@ -543,6 +543,35 @@ impl JobManager {
         }
     }
 
+    /// Returns an aborted task (node crash) to the pending pool so it can
+    /// be re-assigned. Maps regain their locality entries for every
+    /// replica of their input block; reduces simply re-queue. Any partial
+    /// output is discarded by the caller — the re-run starts from scratch,
+    /// as a failed YARN container would.
+    pub fn on_task_aborted(&mut self, task: TaskRef) {
+        let Some(rt) = self.jobs.get_mut(&task.job) else {
+            return;
+        };
+        rt.task_nodes.remove(&(task.kind, task.index));
+        match task.kind {
+            TaskKind::Map => {
+                debug_assert!(rt.map_assigned[task.index as usize]);
+                rt.maps_running -= 1;
+                rt.map_assigned[task.index as usize] = false;
+                rt.pending_maps.push(task.index);
+                if let Some(b) = rt.input_blocks.get(task.index as usize) {
+                    for &r in &b.replicas {
+                        rt.local_index.entry(r).or_default().push(task.index);
+                    }
+                }
+            }
+            TaskKind::Reduce => {
+                rt.reduces_running -= 1;
+                rt.pending_reduces.push(task.index);
+            }
+        }
+    }
+
     /// Marks a task complete, registers shuffle output, advances workflow
     /// stages, and reports lifecycle events.
     pub fn on_task_finished(&mut self, task: TaskRef, now: SimTime) -> Vec<JobEvent> {
@@ -837,6 +866,30 @@ mod tests {
         assert_eq!(rt.runtime(), Some(SimDuration::from_secs(2)));
         assert_eq!(rt.map_phase(), Some(SimDuration::from_secs(1)));
         assert_eq!(rt.reduce_phase(), Some(SimDuration::from_secs(1)));
+        assert!(jm.all_done());
+    }
+
+    #[test]
+    fn aborted_tasks_requeue_and_rerun() {
+        let mut jm = JobManager::new(4 * MIB);
+        let id = jm.submit(simple_spec(1), blocks(1, |_| 0), SimTime::ZERO);
+        let m = jm.try_assign(NodeId(0), NODE_MEM).unwrap();
+        assert_eq!(jm.job(id).unwrap().running(), 1);
+        jm.on_task_aborted(m.task);
+        assert_eq!(jm.job(id).unwrap().running(), 0);
+        // The map is pending again and keeps its locality preference: a
+        // local-only pass on a replica node can still place it.
+        let m2 = jm
+            .try_assign_constrained(NodeId(0), NODE_MEM, false)
+            .unwrap();
+        assert_eq!(m2.task, m.task);
+        jm.on_task_finished(m2.task, SimTime::from_secs(1));
+        let r = jm.try_assign(NodeId(1), NODE_MEM).unwrap();
+        assert_eq!(r.task.kind, TaskKind::Reduce);
+        jm.on_task_aborted(r.task);
+        let r2 = jm.try_assign(NodeId(2), NODE_MEM).unwrap();
+        assert_eq!(r2.task, r.task);
+        jm.on_task_finished(r2.task, SimTime::from_secs(2));
         assert!(jm.all_done());
     }
 

@@ -34,6 +34,10 @@ pub enum Step {
     RemoteRead {
         /// Node holding the replica.
         source: NodeId,
+        /// The HDFS block being read (raw [`BlockId`](ibis_dfs::BlockId)),
+        /// so a crashed `source` can be failed over to another replica via
+        /// the namenode.
+        block: u64,
         /// Request size.
         bytes: u64,
         /// Sequential-stream key (scoped to `source`).
@@ -201,6 +205,7 @@ pub fn plan_map_task(
             } else {
                 steps.push(Step::RemoteRead {
                     source: src,
+                    block: block.expect("remote read has a block").id.0,
                     bytes: part,
                     stream: stream_base + STREAM_INPUT,
                 });

@@ -17,6 +17,14 @@
 //!    broker reported for it: `Σ delay ≤ max_sync(total − local
 //!    completed)`. Overcharging would mean local arrivals are penalised
 //!    for service that never happened elsewhere.
+//! 4. **Degraded pure-local** (fault injection) — between a
+//!    [`EventKind::DegradedEnter`] and its matching
+//!    [`EventKind::DegradedExit`], a scheduler has declared its broker
+//!    totals stale and fallen back to pure local SFQ(D2); charging any
+//!    DSFQ delay in that span would penalise flows against information
+//!    the scheduler itself deemed untrustworthy. Local-share fairness
+//!    (check 2) keeps running across degraded windows, so a dark broker
+//!    cannot silently break per-device fairness either.
 //!
 //! Nodes whose ring evicted events ([`Recording::truncated`]) get only the
 //! first check — the other two reconstruct cumulative state and would
@@ -65,6 +73,8 @@ pub enum Invariant {
     ProportionalShare,
     /// Cumulative DSFQ delay exceeded broker-reported foreign service.
     DelayIdentity,
+    /// A DSFQ delay was charged inside a degraded (stale-broker) episode.
+    DegradedPureLocal,
 }
 
 impl std::fmt::Display for Invariant {
@@ -73,6 +83,7 @@ impl std::fmt::Display for Invariant {
             Invariant::StartTagMonotone => "start-tag-monotone",
             Invariant::ProportionalShare => "proportional-share",
             Invariant::DelayIdentity => "dsfq-delay-identity",
+            Invariant::DegradedPureLocal => "degraded-pure-local",
         };
         f.write_str(s)
     }
@@ -114,6 +125,10 @@ pub struct AuditReport {
     pub windows_checked: u64,
     /// DSFQ delay charges checked against broker totals.
     pub delay_checks: u64,
+    /// Degraded-mode boundary events (enter + exit) replayed — the
+    /// denominator for the degraded pure-local check; 0 means the run
+    /// never degraded and the invariant was vacuously satisfied.
+    pub degraded_marks: u64,
     /// Absolute share errors across all checked windows (merged from the
     /// per-node distributions with [`Cdf::merge`]).
     pub share_errors: Cdf,
@@ -129,6 +144,8 @@ pub struct AuditReport {
     pub share_violations: u64,
     /// DSFQ delay-identity violations, uncapped.
     pub delay_violations: u64,
+    /// Degraded pure-local violations, uncapped.
+    pub degraded_violations: u64,
 }
 
 impl AuditReport {
@@ -144,6 +161,7 @@ impl AuditReport {
             Invariant::StartTagMonotone => self.start_tag_violations,
             Invariant::ProportionalShare => self.share_violations,
             Invariant::DelayIdentity => self.delay_violations,
+            Invariant::DegradedPureLocal => self.degraded_violations,
         }
     }
 
@@ -196,6 +214,9 @@ struct DevAcc {
     flows: Vec<FlowAcc>,
     /// Index of the last flushed window.
     window: u64,
+    /// Inside a DegradedEnter..DegradedExit span (stale broker totals;
+    /// DSFQ delays must be zero).
+    degraded: bool,
 }
 
 impl DevAcc {
@@ -231,6 +252,7 @@ impl Auditor<'_> {
             Invariant::StartTagMonotone => self.report.start_tag_violations += 1,
             Invariant::ProportionalShare => self.report.share_violations += 1,
             Invariant::DelayIdentity => self.report.delay_violations += 1,
+            Invariant::DegradedPureLocal => self.report.degraded_violations += 1,
         }
         if self.report.violations.len() < self.cfg.max_violations {
             self.report.violations.push(Violation {
@@ -351,6 +373,18 @@ pub fn audit(rec: &Recording, cfg: &AuditConfig) -> AuditReport {
                 f.completed += bytes;
             }
             EventKind::DelayApplied { app, delay } => {
+                if acc.degraded {
+                    aud.violate(
+                        Invariant::DegradedPureLocal,
+                        node,
+                        dev,
+                        at,
+                        format!(
+                            "app{app} charged {delay} B of DSFQ delay while the \
+                             scheduler was degraded (broker totals stale)"
+                        ),
+                    );
+                }
                 if !truncated {
                     let w = rec.meta.weight_of(app);
                     let f = acc.flow(app, w);
@@ -376,7 +410,18 @@ pub fn audit(rec: &Recording, cfg: &AuditConfig) -> AuditReport {
                 let f = acc.flow(app, w);
                 f.foreign_known = f.foreign_known.max(total.saturating_sub(f.completed));
             }
-            EventKind::DepthAdjusted { .. } | EventKind::BlockPlaced { .. } => {}
+            EventKind::DegradedEnter { .. } => {
+                aud.report.degraded_marks += 1;
+                acc.degraded = true;
+            }
+            EventKind::DegradedExit { .. } => {
+                aud.report.degraded_marks += 1;
+                acc.degraded = false;
+            }
+            EventKind::DepthAdjusted { .. }
+            | EventKind::BlockPlaced { .. }
+            | EventKind::FaultInjected { .. }
+            | EventKind::ReportRetry { .. } => {}
         }
         streams.insert((node, dev), acc);
     }
@@ -562,6 +607,47 @@ mod tests {
         assert!(rep.passed());
         assert_eq!(rep.truncated_nodes, vec![0]);
         assert_eq!(rep.delay_checks, 0);
+    }
+
+    #[test]
+    fn delay_inside_degraded_span_flagged() {
+        let mut rec = FlightRecorder::new(1, 64);
+        push(&mut rec, 0, EventKind::BrokerSync { app: 1, total: 600 });
+        push(&mut rec, 1, EventKind::DegradedEnter { age_ns: 4_000_000_000 });
+        // Legal by the delay identity (broker reported 600 foreign), but
+        // the scheduler had declared its totals stale.
+        push(&mut rec, 2, EventKind::DelayApplied { app: 1, delay: 100 });
+        push(&mut rec, 3, EventKind::DegradedExit { dark_ns: 2_000_000_000 });
+        let rep = audit(&rec.finish(meta(&[(1, 1.0)])), &AuditConfig::default());
+        assert!(!rep.passed());
+        assert_eq!(rep.violations_of(Invariant::DegradedPureLocal), 1);
+        assert_eq!(rep.degraded_marks, 2);
+    }
+
+    #[test]
+    fn delay_outside_degraded_span_passes() {
+        let mut rec = FlightRecorder::new(1, 64);
+        push(&mut rec, 0, EventKind::BrokerSync { app: 1, total: 600 });
+        push(&mut rec, 1, EventKind::DegradedEnter { age_ns: u64::MAX });
+        push(&mut rec, 2, EventKind::DegradedExit { dark_ns: 1 });
+        // Delay after recovery is fine.
+        push(&mut rec, 3, EventKind::DelayApplied { app: 1, delay: 100 });
+        let rep = audit(&rec.finish(meta(&[(1, 1.0)])), &AuditConfig::default());
+        assert!(rep.passed(), "delay after DegradedExit must be legal");
+        assert_eq!(rep.degraded_marks, 2);
+        assert_eq!(rep.violations_of(Invariant::DegradedPureLocal), 0);
+    }
+
+    #[test]
+    fn fault_markers_are_inert_for_other_checks() {
+        let mut rec = FlightRecorder::new(1, 64);
+        push(&mut rec, 0, EventKind::FaultInjected { kind: 0, detail: 7 });
+        push(&mut rec, 1, EventKind::ReportRetry { attempt: 2 });
+        push(&mut rec, 2, EventKind::Dispatched { io: 0, app: 1, start_tag: 1.0 });
+        let rep = audit(&rec.finish(meta(&[(1, 1.0)])), &AuditConfig::default());
+        assert!(rep.passed());
+        assert_eq!(rep.dispatches, 1);
+        assert_eq!(rep.degraded_marks, 0);
     }
 
     #[test]

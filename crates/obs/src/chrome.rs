@@ -56,7 +56,12 @@ pub fn export(rec: &Recording) -> String {
             | EventKind::Dispatched { app, .. }
             | EventKind::Completed { app, .. }
             | EventKind::BrokerSync { app, .. } => Some(app),
-            EventKind::DepthAdjusted { .. } | EventKind::BlockPlaced { .. } => None,
+            EventKind::DepthAdjusted { .. }
+            | EventKind::BlockPlaced { .. }
+            | EventKind::FaultInjected { .. }
+            | EventKind::DegradedEnter { .. }
+            | EventKind::DegradedExit { .. }
+            | EventKind::ReportRetry { .. } => None,
         };
         if let Some(app) = app {
             lanes.insert((ev.node, app));
@@ -149,6 +154,48 @@ pub fn export(rec: &Recording) -> String {
                      \"args\":{{\"block\":{block},\"primary\":{primary},\
                      \"replicas\":{replicas}}}}}",
                     us(t),
+                );
+            }
+            EventKind::FaultInjected { kind, detail } => {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"fault injected\",\"cat\":\"faults\",\"ph\":\"i\",\
+                     \"s\":\"g\",\"ts\":{},\"pid\":{node},\"tid\":0,\
+                     \"args\":{{\"kind\":{kind},\"detail\":{detail},\"dev\":\"{}\"}}}}",
+                    us(t),
+                    dev_name(dev),
+                );
+            }
+            EventKind::DegradedEnter { age_ns } => {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"degraded/{}\",\"ph\":\"C\",\"ts\":{},\"pid\":{node},\
+                     \"tid\":0,\"args\":{{\"degraded\":1,\"age_ns\":{age_ns}}}}}",
+                    dev_name(dev),
+                    us(t),
+                );
+            }
+            EventKind::DegradedExit { dark_ns } => {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"degraded/{}\",\"ph\":\"C\",\"ts\":{},\"pid\":{node},\
+                     \"tid\":0,\"args\":{{\"degraded\":0,\"dark_ns\":{dark_ns}}}}}",
+                    dev_name(dev),
+                    us(t),
+                );
+            }
+            EventKind::ReportRetry { attempt } => {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"report retry\",\"cat\":\"faults\",\"ph\":\"i\",\
+                     \"s\":\"t\",\"ts\":{},\"pid\":{node},\"tid\":0,\
+                     \"args\":{{\"attempt\":{attempt},\"dev\":\"{}\"}}}}",
+                    us(t),
+                    dev_name(dev),
                 );
             }
             // Tagging/dispatch detail stays in the recording for the

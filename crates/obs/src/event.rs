@@ -75,6 +75,34 @@ pub enum EventKind {
         /// Broker-reported cluster-wide total service, bytes.
         total: u64,
     },
+    /// A fault was injected at this site (engine fault layer). `kind` is
+    /// a small discriminant: 0 = broker outage began, 1 = report dropped,
+    /// 2 = reply delayed, 3 = node crash, 4 = node restart, 5 = device
+    /// slowdown began, 6 = device slowdown ended.
+    FaultInjected {
+        /// Fault discriminant (see above).
+        kind: u32,
+        /// Kind-specific detail (e.g. sync index, slowdown factor ×1000).
+        detail: u64,
+    },
+    /// A local scheduler's broker totals exceeded the staleness bound (or
+    /// were never delivered): it entered degraded mode and now applies
+    /// zero DSFQ delay — pure local SFQ(D2) — until the broker answers.
+    DegradedEnter {
+        /// Age of the last applied sync in nanoseconds; `u64::MAX` when
+        /// no sync was ever applied (broker dark since start).
+        age_ns: u64,
+    },
+    /// A fresh broker reply ended a degraded episode; DSFQ delays resume.
+    DegradedExit {
+        /// Length of the degraded episode in nanoseconds.
+        dark_ns: u64,
+    },
+    /// A broker report failed and the scheduler scheduled a backoff retry.
+    ReportRetry {
+        /// Retry attempt number (1-based).
+        attempt: u32,
+    },
     /// The namenode allocated a block (primary replica first).
     BlockPlaced {
         /// Block id.
