@@ -1,0 +1,275 @@
+//! Emits `BENCH_par.json` — the machine-readable record behind the
+//! partitioned-execution acceptance numbers (DESIGN.md §14): one large
+//! simulation timed serially (`partitions = 1`, the exact serial engine)
+//! and again at 2 and 4 node-group partitions on the intra-run worker
+//! pool.
+//!
+//! The workload is a 64-node cluster with latency-floored devices (the
+//! `Ideal` model: the floor equals the fixed per-request latency, so the
+//! conservative lookahead can admit multi-completion windows) saturated
+//! by wide concurrent jobs. Observability and metrics sampling are off:
+//! the bench isolates the device-plane speedup, and byte-identity with
+//! the recorder active is the determinism suite's job
+//! (`ibis-cluster/tests/partition_determinism.rs`), not a timing bench's.
+//!
+//! As in `bench_sweep`, a "speedup" measured with fewer host cores than
+//! pool workers is time-slicing, not the pool — each record carries a
+//! `meaningful` flag, and the `--check` gate only fires on meaningful
+//! release-build numbers.
+//!
+//! Usage: `bench_par [--check <baseline.json>] [output-path]`
+//! (default `BENCH_par.json`). With `--check`, exits non-zero when the
+//! fresh 4-partition speedup falls below the acceptance floor or
+//! regresses materially against the committed baseline.
+
+use ibis_bench::{json, ScaleProfile};
+use ibis_cluster::prelude::*;
+use ibis_simcore::units::GIB;
+use ibis_simcore::SimDuration;
+use ibis_workloads::{teragen, terasort, wordcount};
+use std::time::Instant;
+
+/// Acceptance floor for the 4-partition speedup (ISSUE 6): the windowed
+/// engine must be worth its synchronization on a 64-node topology.
+const SPEEDUP_FLOOR_4P: f64 = 1.5;
+
+/// Maximum tolerated drop of the 4-partition speedup relative to the
+/// committed baseline, in percent. Wall-clock ratios wobble with host
+/// load, so the regression margin is wider than an ns/op gate's.
+const SPEEDUP_REGRESSION_PCT: f64 = 25.0;
+
+/// The bench topology: 64 datanodes behind `Ideal` devices whose fixed
+/// per-request latency doubles as the lookahead floor, saturated by wide
+/// jobs so completions from many node groups land inside one window.
+fn experiment(parts: usize) -> Experiment {
+    let scale = ScaleProfile::from_env();
+    let cfg = ClusterConfig {
+        nodes: 64,
+        cores_per_node: 4,
+        seed: 0x9a27,
+        // A 2 ms latency floor gives the conservative lookahead a wide
+        // horizon: at this completion density the engine forms windows of
+        // tens of members, the regime where the pool pays off.
+        hdfs_device: DeviceSpec::Ideal {
+            bandwidth: 300e6,
+            latency: SimDuration::from_millis(2),
+        },
+        scratch_device: DeviceSpec::Ideal {
+            bandwidth: 300e6,
+            latency: SimDuration::from_millis(2),
+        },
+        // 1 MiB interposed requests (vs the 4 MiB workspace default):
+        // more, shorter device completions per simulated second, which is
+        // the regime the window engine exists for.
+        chunk: ibis_simcore::units::MIB,
+        // Wide per-task read windows keep most completions mid-stream
+        // (another request of the same task is still in flight), which is
+        // what lets window formation classify them as pool-safe instead
+        // of window-terminating.
+        read_window: 8,
+        auto_reference: false,
+        // Defaults are disabled/empty; spelled out so the bench cannot be
+        // skewed by `IBIS_OBS` / `IBIS_METRICS` / `IBIS_FAULTS` in the
+        // environment (the struct default reads them).
+        obs: ibis_obs::ObsConfig::default(),
+        metrics: ibis_metrics::MetricsConfig::default(),
+        faults: ibis_faults::FaultsConfig::default(),
+        ..ClusterConfig::default()
+    }
+    .with_policy(Policy::SfqD { depth: 4 })
+    .with_partitions(parts);
+    let mut exp = Experiment::new(cfg);
+    // Write-leaning mix: pipelined replica writes complete mid-chain for
+    // most of their life, the classification the window engine batches
+    // best, while the terasort/wordcount pair keeps the read and shuffle
+    // paths represented.
+    exp.add_job(terasort(scale.bytes(128 * GIB)).max_slots(64).io_weight(4.0));
+    exp.add_job(wordcount(scale.bytes(128 * GIB)).max_slots(64));
+    exp.add_job(teragen(scale.bytes(512 * GIB)).max_slots(64));
+    exp.add_job(teragen(scale.bytes(256 * GIB)).arriving_at(SimDuration::from_secs(2)));
+    exp
+}
+
+/// One timed pass at a partition count.
+struct Pass {
+    parts: usize,
+    secs: f64,
+    report: RunReport,
+}
+
+fn time_run(parts: usize) -> Pass {
+    let exp = experiment(parts);
+    let t = Instant::now();
+    let report = exp.run();
+    let secs = t.elapsed().as_secs_f64();
+    Pass { parts, secs, report }
+}
+
+/// Finds `"key": <number>` after the first occurrence of `anchor`, the
+/// same mini-parser the other bench gates use on their fixed-shape
+/// records.
+fn extract_after(doc: &str, anchor: &str, key: &str) -> Option<f64> {
+    let at = doc.find(anchor)?;
+    let rest = &doc[at..];
+    let kat = rest.find(&format!("\"{key}\":"))?;
+    let tail = rest[kat..].split_once(':')?.1;
+    let end = tail
+        .find([',', '\n', '}'])
+        .unwrap_or(tail.len());
+    tail[..end].trim().parse().ok()
+}
+
+/// Compares the fresh 4-partition speedup against the acceptance floor
+/// and the committed baseline. Returns the failures, empty on pass.
+fn check(baseline_path: &str, fresh_speedup_4p: f64, meaningful: bool) -> Vec<String> {
+    let mut failures = Vec::new();
+    let doc = match std::fs::read_to_string(baseline_path) {
+        Ok(d) => d,
+        Err(e) => return vec![format!("cannot read baseline {baseline_path}: {e}")],
+    };
+
+    if json::build_profile() != "release" {
+        eprintln!("[bench_par] debug build: timing gate skipped");
+        return failures;
+    }
+    if !meaningful {
+        eprintln!("[bench_par] host too small for 4 pool workers: timing gate skipped");
+        return failures;
+    }
+
+    if fresh_speedup_4p < SPEEDUP_FLOOR_4P {
+        failures.push(format!(
+            "4-partition speedup {fresh_speedup_4p:.2}x below the {SPEEDUP_FLOOR_4P:.1}x \
+             acceptance floor"
+        ));
+    }
+    match extract_after(&doc, "\"partitions_4\"", "speedup") {
+        Some(base) => {
+            let allowed = base * (1.0 - SPEEDUP_REGRESSION_PCT / 100.0);
+            if fresh_speedup_4p < allowed {
+                failures.push(format!(
+                    "4-partition speedup regressed: {fresh_speedup_4p:.2}x vs baseline \
+                     {base:.2}x (allowed ≥ {allowed:.2}x)"
+                ));
+            }
+        }
+        None => failures.push(format!(
+            "baseline {baseline_path} has no partitions_4 speedup to compare against"
+        )),
+    }
+    failures
+}
+
+fn main() {
+    let mut baseline: Option<String> = None;
+    let mut out_path = "BENCH_par.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--check" {
+            baseline = Some(args.next().unwrap_or_else(|| {
+                eprintln!("usage: bench_par [--check <baseline.json>] [output-path]");
+                std::process::exit(2);
+            }));
+        } else {
+            out_path = a;
+        }
+    }
+
+    let cores = ibis_core::env::available_cores();
+    let scale = ScaleProfile::from_env();
+
+    // Untimed warm-up so the first timed pass doesn't absorb the
+    // process's page faults and allocator growth.
+    eprintln!("[bench_par] warm-up run ...");
+    let _ = experiment(1).run();
+
+    eprintln!("[bench_par] 64-node run at partitions=1 (serial engine) ...");
+    let serial = time_run(1);
+    assert_eq!(serial.report.par_windows, 0, "serial run must not window");
+
+    let passes: Vec<Pass> = [2usize, 4]
+        .into_iter()
+        .map(|p| {
+            eprintln!("[bench_par] 64-node run at partitions={p} ...");
+            let pass = time_run(p);
+            // Cheap identity sanity; the byte-level guarantee is the
+            // determinism suite's.
+            assert_eq!(
+                (pass.report.events, pass.report.makespan, pass.report.sched_decisions),
+                (serial.report.events, serial.report.makespan, serial.report.sched_decisions),
+                "partitions={p} diverged from the serial engine"
+            );
+            pass
+        })
+        .collect();
+
+    let events = serial.report.events;
+    let serial_ns_per_event = serial.secs * 1e9 / events as f64;
+    let mut speedup_4p = 1.0;
+    let mut meaningful_4p = false;
+
+    let mut w = json::bench_writer("par");
+    w.string(Some("scale"), scale.label());
+    w.number(Some("host_cores"), cores as f64);
+    w.number(Some("nodes"), 64.0);
+    w.number(Some("events"), events as f64);
+    w.open_object(Some("partitions_1"));
+    w.number(Some("secs"), serial.secs);
+    w.number(Some("ns_per_event"), serial_ns_per_event);
+    w.close();
+    for pass in &passes {
+        let speedup = serial.secs / pass.secs;
+        let meaningful = cores >= pass.parts;
+        if pass.parts == 4 {
+            speedup_4p = speedup;
+            meaningful_4p = meaningful;
+        }
+        w.open_object(Some(&format!("partitions_{}", pass.parts)));
+        w.number(Some("secs"), pass.secs);
+        w.number(Some("ns_per_event"), pass.secs * 1e9 / events as f64);
+        w.number(Some("speedup"), speedup);
+        w.boolean(Some("meaningful"), meaningful);
+        w.number(Some("par_windows"), pass.report.par_windows as f64);
+        w.number(Some("par_members"), pass.report.par_members as f64);
+        w.number(
+            Some("members_per_window"),
+            if pass.report.par_windows > 0 {
+                pass.report.par_members as f64 / pass.report.par_windows as f64
+            } else {
+                0.0
+            },
+        );
+        w.close();
+    }
+    w.number(Some("speedup_floor_4p"), SPEEDUP_FLOOR_4P);
+    json::write_bench(w, &out_path);
+
+    for pass in &passes {
+        eprintln!(
+            "[bench_par] partitions={}: {:.2}s (x{:.2}, {:.0} windows, {:.1} members/window)",
+            pass.parts,
+            pass.secs,
+            serial.secs / pass.secs,
+            pass.report.par_windows as f64,
+            pass.report.par_members as f64 / pass.report.par_windows.max(1) as f64,
+        );
+    }
+    eprintln!(
+        "[bench_par] {out_path}: serial {:.2}s, 4 partitions x{speedup_4p:.2} \
+         ({events} events, {cores} cores{})",
+        serial.secs,
+        if meaningful_4p { "" } else { ", not meaningful" },
+    );
+
+    if let Some(path) = baseline {
+        let failures = check(&path, speedup_4p, meaningful_4p);
+        if failures.is_empty() {
+            eprintln!("[bench_par] --check vs {path}: OK");
+        } else {
+            for f in &failures {
+                eprintln!("[bench_par] CHECK FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

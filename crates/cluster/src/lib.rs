@@ -22,6 +22,10 @@
 //! * [`sweep`] — the parallel experiment sweep engine: fans independent
 //!   [`config::Experiment`]s across a scoped thread pool (`IBIS_JOBS`)
 //!   with byte-identical-to-serial results.
+//! * [`partition`] — intra-run parallelism substrate (`IBIS_PARTITIONS`):
+//!   contiguous node partitioning plus the spin-waiting worker pool the
+//!   engine uses to execute conservative device-plane windows with
+//!   byte-identical-to-serial results (DESIGN.md §14).
 //!
 //! ```
 //! use ibis_cluster::prelude::*;
@@ -40,6 +44,7 @@
 pub mod autotune;
 pub mod config;
 pub mod engine;
+pub mod partition;
 pub mod report;
 pub mod sweep;
 

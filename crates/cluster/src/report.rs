@@ -117,6 +117,14 @@ pub struct RunReport {
     /// Fault-injection accounting, when a fault schedule was active
     /// (`ClusterConfig::faults`).
     pub faults: Option<FaultSummary>,
+    /// Multi-member execution windows run on the partition pool
+    /// (DESIGN.md §14). Zero in serial runs (`partitions == 1`). A
+    /// wall-clock diagnostic, like `wall_secs`: excluded from the
+    /// determinism canon, since the same timeline may batch differently
+    /// only in *execution*, never in results.
+    pub par_windows: u64,
+    /// Device completions executed inside those windows.
+    pub par_members: u64,
 }
 
 impl RunReport {

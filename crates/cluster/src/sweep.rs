@@ -19,9 +19,17 @@
 //! [`std::thread::available_parallelism`]. `IBIS_JOBS=1` is the exact
 //! serial fallback — the batch runs inline on the calling thread with no
 //! pool, no locks, and no cross-thread moves.
+//!
+//! When intra-run parallelism is also active (`IBIS_PARTITIONS`,
+//! DESIGN.md §14), the two levels share one core budget: the
+//! environment-selected sweep width divides by the per-run worker count
+//! via [`ibis_core::WorkerBudget`], so `IBIS_JOBS=8 IBIS_PARTITIONS=4`
+//! runs 2 experiments at a time with 4 workers each instead of
+//! oversubscribing 32 threads onto 8 cores.
 
 use crate::config::Experiment;
 use crate::report::RunReport;
+use ibis_core::WorkerBudget;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -39,9 +47,12 @@ impl Default for SweepRunner {
 
 impl SweepRunner {
     /// A runner with the environment-selected width: `IBIS_JOBS` when
-    /// set, otherwise the machine's available parallelism.
+    /// set, otherwise the machine's available parallelism — divided by
+    /// the per-run worker count (`IBIS_PARTITIONS`) so nested
+    /// parallelism shares the same core budget instead of multiplying
+    /// it.
     pub fn from_env() -> Self {
-        Self::with_jobs(jobs_from_env())
+        Self::with_jobs(WorkerBudget::from_env().sweep_jobs())
     }
 
     /// A runner with an explicit width (clamped to ≥ 1).
@@ -172,18 +183,11 @@ impl Progress {
 
 /// The environment-selected sweep width: `IBIS_JOBS` when set and
 /// parseable (clamped to ≥ 1), else [`std::thread::available_parallelism`]
-/// (1 if even that is unavailable).
+/// (1 if even that is unavailable). Delegates to [`ibis_core::env`], the
+/// single home of the worker-knob parsing; note this is the *raw* width —
+/// [`SweepRunner::from_env`] additionally divides by `IBIS_PARTITIONS`.
 pub fn jobs_from_env() -> usize {
-    match std::env::var("IBIS_JOBS") {
-        Ok(v) => v.trim().parse::<usize>().map_or_else(
-            |_| {
-                eprintln!("warning: unparseable IBIS_JOBS={v:?}; using 1");
-                1
-            },
-            |n| n.max(1),
-        ),
-        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
-    }
+    ibis_core::env::jobs_from_env()
 }
 
 #[cfg(test)]

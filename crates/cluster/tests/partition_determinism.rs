@@ -1,0 +1,267 @@
+//! Partitioned-execution determinism (ISSUE 6, DESIGN.md §14): the
+//! windowed engine must be a pure *execution* strategy. For every suite
+//! experiment — clean runs and the full chaos schedule (broker outage,
+//! report drops, delayed replies, a node crash with restart, a device
+//! slowdown) — `IBIS_PARTITIONS ∈ {1, 2, 4}` must produce
+//! **byte-identical** reports, on both the slab and `HashMap` side-table
+//! backends. The canonical serialization covers the flight recording,
+//! every metrics series point, and the fault summary, so any divergence
+//! in window formation, the parallel device plane, or the serial apply
+//! phase shows up as a text diff.
+
+use ibis_cluster::prelude::*;
+use ibis_core::SfqD2Config;
+use ibis_faults::{FaultSchedule, FaultsConfig};
+use ibis_metrics::MetricsConfig;
+use ibis_obs::ObsConfig;
+use ibis_simcore::units::GIB;
+use ibis_simcore::{SimDuration, SimTime};
+use ibis_workloads::{teragen, terasort, wordcount};
+use std::fmt::Write as _;
+
+/// The same all-kinds schedule the fault-determinism suite uses; the
+/// slowdown factor is ≥ 1, so windowing stays enabled alongside it.
+fn chaos_schedule(seed: u64) -> FaultSchedule {
+    FaultSchedule::new(seed)
+        .broker_outage(SimTime::from_secs(4), SimDuration::from_secs(4))
+        .drop_reports(SimTime::ZERO, SimDuration::from_secs(3600), 3)
+        .delay_replies(
+            SimTime::from_secs(10),
+            SimDuration::from_secs(3),
+            SimDuration::from_millis(1500),
+        )
+        .node_crash(1, SimTime::from_secs(6), Some(SimDuration::from_secs(4)))
+        .device_slowdown(0, 0, 3.0, SimTime::from_secs(2), SimDuration::from_secs(5))
+}
+
+/// An observed 4-node cluster with latency-floored devices (Ideal: the
+/// floor equals the fixed per-request latency) so windows actually form.
+fn observed_cluster(policy: Policy, seed: u64, chaos: bool) -> ClusterConfig {
+    let coordinated = policy.coordinates();
+    ClusterConfig {
+        nodes: 4,
+        cores_per_node: 4,
+        seed,
+        hdfs_device: DeviceSpec::Ideal {
+            bandwidth: 150e6,
+            latency: SimDuration::from_micros(300),
+        },
+        scratch_device: DeviceSpec::Ideal {
+            bandwidth: 150e6,
+            latency: SimDuration::from_micros(300),
+        },
+        auto_reference: false,
+        obs: ObsConfig::enabled(1 << 18),
+        metrics: MetricsConfig::enabled(SimDuration::from_millis(500)),
+        faults: if chaos {
+            FaultsConfig {
+                enabled: true,
+                schedule: chaos_schedule(0xFA17 ^ seed),
+                staleness_bound: SimDuration::from_secs(2),
+                retry_backoff: SimDuration::from_millis(100),
+                retry_limit: 3,
+            }
+        } else {
+            FaultsConfig::default()
+        },
+        ..ClusterConfig::default()
+    }
+    .with_policy(policy)
+    .with_coordination(coordinated)
+}
+
+/// Canonical serialization of everything determinism-relevant. Excluded:
+/// `wall_secs`, `par_windows`, `par_members` — wall-clock diagnostics
+/// that legitimately differ between execution strategies.
+fn canonical_full(r: &RunReport) -> String {
+    let mut s = String::new();
+    for j in &r.jobs {
+        writeln!(
+            s,
+            "job {} app={} sub={:?} fin={:?} rt={} map={} red={}",
+            j.name,
+            j.app.0,
+            j.submitted,
+            j.finished,
+            j.runtime.as_nanos(),
+            j.map_phase.as_nanos(),
+            j.reduce_phase.as_nanos(),
+        )
+        .unwrap();
+    }
+    let mut service: Vec<(u32, u64)> = r.app_service.iter().map(|(a, &b)| (a.0, b)).collect();
+    service.sort_unstable();
+    writeln!(s, "service {service:?}").unwrap();
+    let total = |t: &Option<ibis_simcore::metrics::TimeSeries>| {
+        t.as_ref().map_or(0, |t| t.total().to_bits())
+    };
+    writeln!(s, "reads {:#x} writes {:#x}", total(&r.total_read), total(&r.total_write)).unwrap();
+    let mut lat: Vec<(u32, Option<u64>)> = r
+        .app_latency
+        .iter()
+        .map(|(a, h)| (a.0, h.quantile(0.99)))
+        .collect();
+    lat.sort_unstable();
+    writeln!(s, "p99 {lat:?}").unwrap();
+    writeln!(
+        s,
+        "broker {:?} decisions {} makespan {} events {}",
+        r.broker,
+        r.sched_decisions,
+        r.makespan.as_nanos(),
+        r.events,
+    )
+    .unwrap();
+    writeln!(s, "faults {:?}", r.faults).unwrap();
+
+    let rec = r.recording.as_ref().expect("recording enabled");
+    writeln!(s, "rec seen={} retained={}", rec.seen(), rec.len()).unwrap();
+    for e in rec.events() {
+        writeln!(s, "ev {:?} n{} d{} {:?}", e.at, e.node, e.dev, e.kind).unwrap();
+    }
+
+    let m = r.metrics.as_ref().expect("metrics enabled");
+    writeln!(s, "metrics samples={}", m.samples_taken).unwrap();
+    let mut series: Vec<&ibis_metrics::Series> = m.series.iter().collect();
+    series.sort_by(|a, b| {
+        (&a.key.name, a.key.labels).cmp(&(&b.key.name, b.key.labels))
+    });
+    for sr in series {
+        write!(s, "series {} {:?}:", sr.key.name, sr.key.labels).unwrap();
+        for &(at, v) in &sr.points {
+            write!(s, " {:?}={:#x}", at, v.to_bits()).unwrap();
+        }
+        writeln!(s).unwrap();
+    }
+    s
+}
+
+/// Clean and chaos experiments across the engine paths that differ most:
+/// uncoordinated SFQ(D) and fully coordinated SFQ(D2).
+fn batch(chaos: bool) -> Vec<Experiment> {
+    let policies = [
+        Policy::SfqD { depth: 4 },
+        Policy::SfqD2(SfqD2Config::default()),
+    ];
+    policies
+        .into_iter()
+        .enumerate()
+        .map(|(i, policy)| {
+            let mut exp = Experiment::new(observed_cluster(policy, 90 + i as u64, chaos));
+            exp.add_job(terasort(GIB).max_slots(8).io_weight(4.0));
+            exp.add_job(wordcount(GIB).max_slots(8));
+            if i % 2 == 1 {
+                exp.add_job(teragen(GIB).arriving_at(SimDuration::from_secs(5)));
+            }
+            exp
+        })
+        .collect()
+}
+
+/// The same experiment re-described with a different partition count.
+fn with_partitions(exp: &Experiment, parts: usize) -> Experiment {
+    Experiment {
+        cluster: exp.cluster.clone().with_partitions(parts),
+        workloads: exp.workloads.clone(),
+    }
+}
+
+/// The streaming regime `bench_par` measures: wide per-task read windows
+/// and 1 MiB chunks over a large latency floor, where window formation
+/// leans on the aggressive "streaming unblock" classification (a
+/// window-saturated task's completion vetted against its next plan step).
+fn streaming_experiment(seed: u64) -> Experiment {
+    let cfg = ClusterConfig {
+        nodes: 8,
+        cores_per_node: 4,
+        seed,
+        hdfs_device: DeviceSpec::Ideal {
+            bandwidth: 300e6,
+            latency: SimDuration::from_millis(2),
+        },
+        scratch_device: DeviceSpec::Ideal {
+            bandwidth: 300e6,
+            latency: SimDuration::from_millis(2),
+        },
+        chunk: ibis_simcore::units::MIB,
+        read_window: 8,
+        auto_reference: false,
+        obs: ObsConfig::enabled(1 << 18),
+        metrics: MetricsConfig::enabled(SimDuration::from_millis(500)),
+        ..ClusterConfig::default()
+    }
+    .with_policy(Policy::SfqD { depth: 4 });
+    let mut exp = Experiment::new(cfg);
+    exp.add_job(terasort(2 * GIB).max_slots(16).io_weight(4.0));
+    exp.add_job(wordcount(GIB).max_slots(16));
+    exp.add_job(teragen(4 * GIB).max_slots(16));
+    exp
+}
+
+#[test]
+fn streaming_runs_are_byte_identical_across_partition_counts() {
+    let exp = streaming_experiment(17);
+    let serial = canonical_full(&with_partitions(&exp, 1).run());
+    for parts in [2, 4] {
+        let report = with_partitions(&exp, parts).run();
+        assert!(report.par_windows > 0, "streaming run formed no pool windows");
+        assert_eq!(
+            serial,
+            canonical_full(&report),
+            "IBIS_PARTITIONS=1 vs ={parts} diverged in the streaming regime"
+        );
+    }
+}
+
+#[test]
+fn clean_runs_are_byte_identical_across_partition_counts() {
+    for exp in batch(false) {
+        let serial = canonical_full(&with_partitions(&exp, 1).run());
+        for parts in [2, 4] {
+            let windowed = with_partitions(&exp, parts);
+            let report = windowed.run();
+            assert!(
+                report.par_windows > 0,
+                "IBIS_PARTITIONS={parts} never formed a multi-partition window: \
+                 the test would be vacuous"
+            );
+            assert_eq!(
+                serial,
+                canonical_full(&report),
+                "IBIS_PARTITIONS=1 vs ={parts} diverged on a clean run"
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_runs_are_byte_identical_across_partition_counts() {
+    for exp in batch(true) {
+        let serial = canonical_full(&with_partitions(&exp, 1).run());
+        for parts in [2, 4] {
+            assert_eq!(
+                serial,
+                canonical_full(&with_partitions(&exp, parts).run()),
+                "IBIS_PARTITIONS=1 vs ={parts} diverged under fault injection"
+            );
+        }
+    }
+}
+
+#[test]
+fn partitioned_runs_are_byte_identical_across_backends() {
+    for exp in batch(true) {
+        let windowed = with_partitions(&exp, 4);
+        let slab = canonical_full(&windowed.run());
+        let hash = canonical_full(&windowed.run_hashmap_reference());
+        assert_eq!(slab, hash, "backends diverged under partitioned execution");
+    }
+}
+
+#[test]
+fn serial_runs_never_touch_the_pool() {
+    let exp = &batch(false)[0];
+    let r = with_partitions(exp, 1).run();
+    assert_eq!(r.par_windows, 0);
+    assert_eq!(r.par_members, 0);
+}

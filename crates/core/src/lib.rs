@@ -36,13 +36,17 @@
 //! Two support modules serve the engine's allocation-lean hot path (see
 //! DESIGN.md §12): [`slab`] — typed generational arenas replacing the
 //! engine's `HashMap` side tables — and [`intern`] — per-run string
-//! interning so event paths carry `Copy` symbols instead of clones.
+//! interning so event paths carry `Copy` symbols instead of clones. A
+//! third, [`env`], is the single parser for the `IBIS_JOBS` /
+//! `IBIS_PARTITIONS` worker-count knobs and the [`WorkerBudget`] split
+//! between sweep-level and run-level parallelism (DESIGN.md §14).
 
 #![warn(missing_docs)]
 
 pub mod baselines;
 pub mod broker;
 pub mod controller;
+pub mod env;
 pub mod intern;
 pub mod request;
 pub mod scheduler;
@@ -53,6 +57,7 @@ pub mod strict;
 
 pub use baselines::{CgroupThrottle, CgroupWeight, Fifo};
 pub use broker::{BrokerStats, SchedulingBroker, Staleness};
+pub use env::WorkerBudget;
 pub use controller::{ControllerConfig, DepthController};
 pub use intern::{Symbol, SymbolTable};
 pub use request::{AppId, IoClass, IoKind, Request};

@@ -26,4 +26,4 @@ pub mod time;
 pub mod units;
 
 pub use queue::EventQueue;
-pub use time::{SimDuration, SimTime};
+pub use time::{Lookahead, SimDuration, SimTime};
