@@ -1,0 +1,11 @@
+//! Regenerates the FaaS-burst figure (DESIGN.md §15): burst-tenant tail
+//! latency and cold-start cost under Native vs SFQ(D2).
+//! Scale via IBIS_SCALE={quick,paper}.
+use ibis_bench::figs::fig_burst;
+use ibis_bench::ScaleProfile;
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    let sink = fig_burst::run(scale);
+    sink.save();
+}

@@ -1,0 +1,12 @@
+//! Regenerates the open-system trace-replay figure (DESIGN.md §15):
+//! per-tenant latency and weighted fairness when a JSONL trace is
+//! replayed under Native vs SFQ(D2).
+//! Scale via IBIS_SCALE={quick,paper}.
+use ibis_bench::figs::fig_trace;
+use ibis_bench::ScaleProfile;
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    let sink = fig_trace::run(scale);
+    sink.save();
+}

@@ -45,6 +45,8 @@ pub fn suite() -> Vec<SuiteEntry> {
         entry("obs_overhead", "Table 2 analogue: flight-recorder overhead", obs_overhead::run),
         entry("fig_convergence", "Convergence: SFQ(D2) controller step-load diagnostics", fig_convergence::run),
         entry("fig_faults", "Chaos: fairness and makespan under injected faults", fig_faults::run),
+        entry("fig_trace", "Open system: JSONL trace replay, per-tenant latency", fig_trace::run),
+        entry("fig_burst", "Open system: FaaS burst tenant tail latency", fig_burst::run),
         entry("ablate_controller", "Ablation: depth-controller parameters", ablations::controller),
         entry("ablate_sync_period", "Ablation: broker sync period", ablations::sync_period),
         entry("ablate_delay_cap", "Ablation: DSFQ delay cap", ablations::delay_cap),
@@ -65,8 +67,10 @@ pub mod fig10_multiframework;
 pub mod fig11_prop_slowdown;
 pub mod fig12_coordination;
 pub mod fig13_overhead;
+pub mod fig_burst;
 pub mod fig_convergence;
 pub mod fig_faults;
+pub mod fig_trace;
 pub mod obs_overhead;
 pub mod tab01_config;
 pub mod tab02_resources;

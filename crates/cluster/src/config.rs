@@ -279,6 +279,30 @@ impl Experiment {
         self
     }
 
+    /// Adds a batch of jobs in order — e.g. a generated open-system
+    /// workload (`ibis_workgen::MixConfig::compose`, `swim::facebook2009`).
+    pub fn add_jobs(&mut self, specs: impl IntoIterator<Item = JobSpec>) -> &mut Self {
+        for spec in specs {
+            self.workloads.push(Workload::Job(spec));
+        }
+        self
+    }
+
+    /// Composes a multi-tenant mix from its seed and submits every
+    /// generated job (arrival-ordered). The engine registers one I/O flow
+    /// per tenant on first arrival and reports per-tenant
+    /// arrival→completion latency in [`crate::report::RunReport::tenants`].
+    pub fn add_mix(&mut self, mix: &ibis_workgen::MixConfig) -> &mut Self {
+        self.add_jobs(mix.compose())
+    }
+
+    /// Parses a JSONL workload trace (`ibis_workgen::trace`) and submits
+    /// its jobs. Errors name the offending trace line.
+    pub fn add_trace(&mut self, text: &str) -> Result<&mut Self, String> {
+        let records = ibis_workgen::trace::parse(text)?;
+        Ok(self.add_jobs(ibis_workgen::trace::to_specs(&records)))
+    }
+
     /// Adds a Hive query workflow.
     pub fn add_query(&mut self, query: HiveQuery) -> &mut Self {
         self.workloads.push(Workload::Query(query));

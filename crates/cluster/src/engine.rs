@@ -65,8 +65,11 @@ fn storage_kind(kind: IoKind) -> ibis_storage::IoKind {
 
 #[derive(Debug, Clone)]
 enum Event {
-    /// Submit the pending workload with this index.
-    Arrival(usize),
+    /// A job (or workflow head) arrives: submit the pending workload with
+    /// this index, registering its tenant flow on first arrival. The
+    /// open-system entry point — arrival processes schedule one of these
+    /// per generated job.
+    JobArrival(usize),
     /// A device finished servicing request `io`.
     DeviceDone { node: u32, dev: usize, io: IoKey },
     /// A node's ingress link timer.
@@ -401,6 +404,23 @@ enum Pending {
     Query(HiveQuery),
 }
 
+/// Engine-side state for one tenant of a multi-tenant run. All of a
+/// tenant's jobs map onto one application flow (the first job's `AppId`),
+/// so DSFQ weights, broker totals and service accounting are pooled per
+/// tenant — the paper's per-application scheduling generalised to
+/// open-system tenants.
+struct TenantState {
+    name: String,
+    /// The shared flow id (first tenant job's app).
+    app: AppId,
+    /// The flow's IBIS I/O weight (first tenant job's weight).
+    weight: f64,
+    submitted: u64,
+    finished: u64,
+    /// Arrival→completion latency, nanoseconds.
+    latency: Histogram,
+}
+
 /// An I/O swept off a crashed node that cannot fail over (shuffle pulls
 /// and un-replicated reads): parked until the node restarts, then
 /// re-submitted to the cold scheduler.
@@ -500,6 +520,22 @@ pub struct Sim<A: ArenaKind = SlabArenas> {
     brokers: [SchedulingBroker; 2],
     pending: Vec<Option<Pending>>,
     submitted: usize,
+    /// Job → application flow, dense by `JobId.0`. `None` until the job
+    /// is registered at arrival; tenant jobs all map to the tenant's
+    /// shared flow, tenant-less jobs to their own `JobId`-derived app.
+    job_app: Vec<Option<AppId>>,
+    /// Live-job refcount per application flow, dense by `AppId.0`. Broker
+    /// flow state is retired only when the count returns to zero, so a
+    /// tenant's pooled service totals survive across its jobs.
+    app_live: Vec<u32>,
+    /// Tenants in first-arrival order (deterministic: arrivals are
+    /// totally ordered by the event queue).
+    tenants: Vec<TenantState>,
+    /// Tenant name → index in `tenants`. Lookup-only (never iterated), so
+    /// the map's internal order cannot leak into results.
+    tenant_index: HashMap<String, usize>,
+    /// Job → index in `tenants`, dense by `JobId.0` (`None` = no tenant).
+    job_tenant: Vec<Option<u32>>,
     /// Interned workload names; resolved only at report-building time.
     symbols: SymbolTable,
     /// first-stage job id → interned query name, for workflow reporting.
@@ -676,7 +712,7 @@ impl<A: ArenaKind> Sim<A> {
                 ),
             };
             pending.push(Some(p));
-            queue.push(SimTime::ZERO + arrival, Event::Arrival(i));
+            queue.push(SimTime::ZERO + arrival, Event::JobArrival(i));
         }
 
         // Periodic events.
@@ -770,6 +806,11 @@ impl<A: ArenaKind> Sim<A> {
             brokers: [SchedulingBroker::new(), SchedulingBroker::new()],
             pending,
             submitted: 0,
+            job_app: Vec::new(),
+            app_live: Vec::new(),
+            tenants: Vec::new(),
+            tenant_index: HashMap::new(),
+            job_tenant: Vec::new(),
             symbols: SymbolTable::new(),
             queries: Vec::new(),
             tasks: Default::default(),
@@ -1319,7 +1360,7 @@ impl<A: ArenaKind> Sim<A> {
 
     fn handle(&mut self, ev: Event, now: SimTime) {
         match ev {
-            Event::Arrival(i) => self.submit_workload(i, now),
+            Event::JobArrival(i) => self.submit_workload(i, now),
             Event::DeviceDone { node, dev, io } => self.device_done(node, dev, io, now),
             Event::LinkTimer { node, epoch } => self.link_timer(node, epoch, now),
             Event::SchedTick { node, dev } => {
@@ -1377,22 +1418,92 @@ impl<A: ArenaKind> Sim<A> {
         match pending {
             Pending::Job(spec) => {
                 let blocks = self.resolve_input(&spec);
-                let weight = spec.io_weight;
                 let id = self.job_mgr.submit(spec, blocks, now);
-                self.set_app_weight(id.app(), weight);
+                self.register_job(id, now);
             }
             Pending::Query(q) => {
                 let HiveQuery { name, stages } = q;
                 let first = stages.first().expect("query has stages");
                 let blocks = self.resolve_input(first);
-                let weight = first.io_weight;
                 let sym = self.symbols.intern(&name);
                 let id = self.job_mgr.submit_workflow(&name, stages, blocks, now);
                 self.queries.push((id, sym));
-                self.set_app_weight(id.app(), weight);
+                self.register_job(id, now);
             }
         }
         self.try_assign_all(now);
+    }
+
+    /// The application flow a job's I/O is tagged with: the registered
+    /// mapping (shared for tenant jobs), or the job's own id-derived app
+    /// for anything submitted outside `register_job`.
+    #[inline]
+    fn app_of(&self, job: JobId) -> AppId {
+        self.job_app
+            .get(job.0 as usize)
+            .copied()
+            .flatten()
+            .unwrap_or_else(|| job.app())
+    }
+
+    /// Registers a newly submitted job with the flow layer. Tenant-less
+    /// jobs get their own flow (`JobId`-derived app) at their spec
+    /// weight, as before. Jobs carrying [`ibis_mapreduce::JobSpec::tenant`]
+    /// share the tenant's flow, created on first arrival from the first
+    /// job's app and weight: one DSFQ weight and one broker service total
+    /// per tenant, with per-tenant arrival accounting. Called for every
+    /// submission path — direct jobs, workflow heads, and later workflow
+    /// stages.
+    fn register_job(&mut self, id: JobId, now: SimTime) {
+        let (tenant, weight) = {
+            let rt = self.job_mgr.job(id).expect("registering unknown job");
+            (rt.spec.tenant.clone(), rt.spec.io_weight)
+        };
+        let (app, weight, tenant_idx) = match tenant {
+            None => (id.app(), weight, None),
+            Some(name) => match self.tenant_index.get(&name) {
+                Some(&ti) => {
+                    let t = &mut self.tenants[ti];
+                    t.submitted += 1;
+                    (t.app, t.weight, Some(ti as u32))
+                }
+                None => {
+                    let app = id.app();
+                    let ti = self.tenants.len();
+                    self.tenant_index.insert(name.clone(), ti);
+                    self.tenants.push(TenantState {
+                        name,
+                        app,
+                        weight,
+                        submitted: 1,
+                        finished: 0,
+                        latency: Histogram::new(),
+                    });
+                    (app, weight, Some(ti as u32))
+                }
+            },
+        };
+        let slot = id.0 as usize;
+        if self.job_app.len() <= slot {
+            self.job_app.resize(slot + 1, None);
+            self.job_tenant.resize(slot + 1, None);
+        }
+        self.job_app[slot] = Some(app);
+        self.job_tenant[slot] = tenant_idx;
+        let live = app.0 as usize;
+        if self.app_live.len() <= live {
+            self.app_live.resize(live + 1, 0);
+        }
+        self.app_live[live] += 1;
+        self.set_app_weight(app, weight);
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.record(ObsEvent {
+                at: now,
+                node: 0,
+                dev: 0,
+                kind: EventKind::JobArrived { job: id.0, app: app.0 },
+            });
+        }
     }
 
     fn resolve_input(&mut self, spec: &ibis_mapreduce::JobSpec) -> Vec<BlockInfo> {
@@ -1497,7 +1608,7 @@ impl<A: ArenaKind> Sim<A> {
             }
             let node = task.node;
             let job = task.assignment.task.job;
-            let app = job.app();
+            let app = self.app_of(job);
             let step = task.assignment.plan.steps[idx].clone();
             self.tasks.get_mut(slot).expect("exists").step_idx += 1;
 
@@ -1636,26 +1747,63 @@ impl<A: ArenaKind> Sim<A> {
         }
         for ev in events {
             match ev {
-                JobEvent::JobFinished(job) => {
-                    for b in &mut self.brokers {
-                        b.retire(job.app());
-                    }
-                    if let Some(w) = self.gather_waiters.get_mut(job.0 as usize) {
-                        w.clear();
-                    }
-                }
+                JobEvent::JobFinished(job) => self.job_finished(job, now),
                 JobEvent::StageSubmitted { job, .. } => {
-                    let weight = self
-                        .job_mgr
-                        .job(job)
-                        .map(|j| j.spec.io_weight)
-                        .unwrap_or(1.0);
-                    self.set_app_weight(job.app(), weight);
+                    // Later workflow stages register like fresh arrivals:
+                    // same tenant pooling, same obs/weight plumbing.
+                    self.register_job(job, now);
                 }
                 JobEvent::MapsFinished(_) => {}
             }
         }
         self.try_assign_all(now);
+    }
+
+    /// Job-completion bookkeeping: retire the flow only when its last
+    /// live job finishes (tenants keep one flow across many jobs), record
+    /// the tenant's arrival→completion latency, and emit the obs marker.
+    fn job_finished(&mut self, job: JobId, now: SimTime) {
+        let app = self.app_of(job);
+        let runtime = self.job_mgr.job(job).and_then(|j| j.runtime());
+        match self.app_live.get_mut(app.0 as usize) {
+            Some(live) if *live > 0 => {
+                *live -= 1;
+                if *live == 0 {
+                    for b in &mut self.brokers {
+                        b.retire(app);
+                    }
+                }
+            }
+            // Unregistered job (submitted outside the arrival path):
+            // retire immediately, the pre-tenancy behaviour.
+            _ => {
+                for b in &mut self.brokers {
+                    b.retire(app);
+                }
+            }
+        }
+        if let Some(ti) = self.job_tenant.get(job.0 as usize).copied().flatten() {
+            let t = &mut self.tenants[ti as usize];
+            t.finished += 1;
+            if let Some(rt) = runtime {
+                t.latency.record(rt.as_nanos());
+            }
+        }
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.record(ObsEvent {
+                at: now,
+                node: 0,
+                dev: 0,
+                kind: EventKind::JobCompleted {
+                    job: job.0,
+                    app: app.0,
+                    latency_ns: runtime.map_or(0, |r| r.as_nanos()),
+                },
+            });
+        }
+        if let Some(w) = self.gather_waiters.get_mut(job.0 as usize) {
+            w.clear();
+        }
     }
 
     // ---- shuffle ----------------------------------------------------------
@@ -1685,11 +1833,14 @@ impl<A: ArenaKind> Sim<A> {
     /// the gather completed (and was cleared).
     fn pump_gather(&mut self, slot: TaskKey, now: SimTime) -> bool {
         loop {
+            let app = match self.tasks.get(slot) {
+                Some(t) => self.app_of(t.assignment.task.job),
+                None => return false,
+            };
             let Some(task) = self.tasks.get_mut(slot) else {
                 return false;
             };
             let node = task.node;
-            let app = task.assignment.task.job.app();
             let Some(g) = task.gather.as_mut() else {
                 // Gather already completed earlier (stale waiter entry).
                 return false;
@@ -1801,7 +1952,7 @@ impl<A: ArenaKind> Sim<A> {
         const MAX_REPLICAS: usize = 16;
         let (node, app, job) = {
             let t = self.tasks.get(slot).expect("task exists");
-            (t.node, t.assignment.task.job.app(), t.assignment.task.job)
+            (t.node, self.app_of(t.assignment.task.job), t.assignment.task.job)
         };
         if new_block || self.tasks.get(slot).expect("t").block.is_none() {
             // Close the previous block with its true size, open a new one.
@@ -2152,7 +2303,7 @@ impl<A: ArenaKind> Sim<A> {
                 | Cont::RemoteReadDisk { slot, .. } => self
                     .tasks
                     .get(slot)
-                    .map(|t| t.assignment.task.job.app()),
+                    .map(|t| self.app_of(t.assignment.task.job)),
                 Cont::WritePart { .. } => None,
             };
             app.map_or(1.0, |a| self.weight_of(a))
@@ -2692,12 +2843,14 @@ impl<A: ArenaKind> Sim<A> {
                 dq.sched.set_recording(true);
             }
         }
-        // Live applications' weights must survive the restart.
+        // Live applications' weights must survive the restart. Tenant
+        // jobs re-apply their shared flow's weight (repeats are
+        // idempotent: same app, same weight).
         let weights: Vec<(AppId, f64)> = self
             .job_mgr
             .jobs()
             .filter(|j| j.finished_at.is_none())
-            .map(|j| (j.id.app(), j.spec.io_weight))
+            .map(|j| (self.app_of(j.id), j.spec.io_weight))
             .collect();
         for (app, w) in weights {
             for dq in &mut self.nodes[node as usize].devs {
@@ -2825,6 +2978,22 @@ impl<A: ArenaKind> Sim<A> {
                 }
             }
         }
+        // Per-tenant open-system telemetry; no-op in closed-system runs
+        // (no tenants), so legacy captures are unchanged.
+        for t in &self.tenants {
+            let labels = Labels::NONE.with_app(Some(t.app.0));
+            m.registry
+                .gauge("tenant_jobs_submitted", labels)
+                .set(t.submitted as f64);
+            m.registry
+                .gauge("tenant_jobs_finished", labels)
+                .set(t.finished as f64);
+            if let Some(p99) = t.latency.quantile(0.99) {
+                m.registry
+                    .gauge("tenant_latency_p99_ms", labels)
+                    .set(p99 as f64 / 1e6);
+            }
+        }
         m.registry
             .gauge("engine_tasks_running", Labels::NONE)
             .set(self.tasks.len() as f64);
@@ -2844,7 +3013,7 @@ impl<A: ArenaKind> Sim<A> {
             };
             jobs.push(JobSummary {
                 name: rt.spec.name.clone(),
-                app: rt.id.app(),
+                app: self.app_of(rt.id),
                 submitted: rt.submitted_at,
                 finished,
                 runtime,
@@ -2873,17 +3042,33 @@ impl<A: ArenaKind> Sim<A> {
                 }
             }
         }
+        // Flow weights for the recording, deduplicated: a tenant's jobs
+        // all map to one app, which must appear once.
+        let flow_weights: std::collections::BTreeMap<u32, f64> = self
+            .job_mgr
+            .jobs()
+            .map(|rt| (self.app_of(rt.id).0, rt.spec.io_weight))
+            .collect();
         let recording = self.recorder.take().map(|rec| {
             rec.finish(RecordingMeta {
-                weights: self
-                    .job_mgr
-                    .jobs()
-                    .map(|rt| (rt.id.app().0, rt.spec.io_weight))
-                    .collect(),
+                weights: flow_weights.into_iter().collect(),
                 sync_period_ns: self.cfg.sync_period.as_nanos(),
                 nodes: self.cfg.nodes,
             })
         });
+
+        let tenants = self
+            .tenants
+            .drain(..)
+            .map(|t| crate::report::TenantSummary {
+                name: t.name,
+                app: t.app,
+                weight: t.weight,
+                submitted: t.submitted,
+                finished: t.finished,
+                latency: t.latency,
+            })
+            .collect();
 
         let mut app_service: HashMap<AppId, u64> = HashMap::new();
         let mut sched_decisions = 0;
@@ -2926,6 +3111,7 @@ impl<A: ArenaKind> Sim<A> {
         RunReport {
             jobs,
             queries,
+            tenants,
             app_read: self.app_read,
             app_write: self.app_write,
             app_latency: self.app_latency,

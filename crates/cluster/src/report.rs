@@ -36,6 +36,34 @@ pub struct QuerySummary {
     pub runtime: SimDuration,
 }
 
+/// One tenant of a multi-tenant (open-system) run. Present only for jobs
+/// submitted with [`ibis_mapreduce::JobSpec::tenant`] set: all of a
+/// tenant's jobs share one application flow (one DSFQ weight, pooled
+/// broker service totals) and contribute to one arrival→completion
+/// latency distribution — the open-system figure of merit.
+#[derive(Debug, Clone)]
+pub struct TenantSummary {
+    /// Tenant name (from the job specs).
+    pub name: String,
+    /// The shared application (flow) id — the first tenant job's.
+    pub app: AppId,
+    /// The flow's IBIS I/O weight.
+    pub weight: f64,
+    /// Jobs that entered the system.
+    pub submitted: u64,
+    /// Jobs that completed.
+    pub finished: u64,
+    /// Arrival→completion latency distribution, nanoseconds.
+    pub latency: Histogram,
+}
+
+impl TenantSummary {
+    /// A latency quantile in milliseconds, if any job finished.
+    pub fn latency_ms(&self, q: f64) -> Option<f64> {
+        self.latency.quantile(q).map(|ns| ns as f64 / 1e6)
+    }
+}
+
 /// Chaos-run accounting, present only when fault injection was active
 /// (`ClusterConfig::faults`): what was injected and how the cluster
 /// reacted. `None` in fault-free runs, so enabling the subsystem without
@@ -72,6 +100,10 @@ pub struct RunReport {
     pub jobs: Vec<JobSummary>,
     /// Finished Hive queries.
     pub queries: Vec<QuerySummary>,
+    /// Tenants of a multi-tenant run, in first-arrival order. Empty when
+    /// no submitted job named a tenant, so closed-system reports are
+    /// unchanged.
+    pub tenants: Vec<TenantSummary>,
     /// Cluster-wide read throughput per application.
     pub app_read: HashMap<AppId, TimeSeries>,
     /// Cluster-wide write throughput per application.
@@ -141,6 +173,11 @@ impl RunReport {
     /// The summary for a query by name.
     pub fn query(&self, name: &str) -> Option<&QuerySummary> {
         self.queries.iter().find(|q| q.name == name)
+    }
+
+    /// The summary for a tenant by name.
+    pub fn tenant(&self, name: &str) -> Option<&TenantSummary> {
+        self.tenants.iter().find(|t| t.name == name)
     }
 
     /// Slowdown of `runtime` relative to `baseline` (1.0 = unchanged,

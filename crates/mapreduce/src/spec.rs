@@ -84,6 +84,11 @@ pub struct JobSpec {
     /// readers effectively run synchronously. `None` = the cluster's
     /// `read_window` default.
     pub read_ahead: Option<u32>,
+    /// Owning tenant in a multi-tenant mix. Jobs sharing a tenant share
+    /// one IBIS I/O flow (one DSFQ weight, pooled service accounting) and
+    /// one per-tenant latency series in the run report. `None` = the job
+    /// is its own flow, the closed-system default.
+    pub tenant: Option<String>,
 }
 
 impl Default for JobSpec {
@@ -108,6 +113,7 @@ impl Default for JobSpec {
             reduce_slowstart: 0.05,
             max_slots: None,
             read_ahead: None,
+            tenant: None,
         }
     }
 }
@@ -163,6 +169,12 @@ impl JobSpec {
     /// Caps the job's concurrent tasks (builder style).
     pub fn max_slots(mut self, slots: u32) -> Self {
         self.max_slots = Some(slots);
+        self
+    }
+
+    /// Assigns the job to a tenant flow (builder style).
+    pub fn tenant(mut self, name: &str) -> Self {
+        self.tenant = Some(name.to_string());
         self
     }
 }

@@ -421,6 +421,8 @@ pub fn audit(rec: &Recording, cfg: &AuditConfig) -> AuditReport {
             EventKind::DepthAdjusted { .. }
             | EventKind::BlockPlaced { .. }
             | EventKind::FaultInjected { .. }
+            | EventKind::JobArrived { .. }
+            | EventKind::JobCompleted { .. }
             | EventKind::ReportRetry { .. } => {}
         }
         streams.insert((node, dev), acc);

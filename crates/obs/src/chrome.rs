@@ -55,7 +55,9 @@ pub fn export(rec: &Recording) -> String {
             | EventKind::DelayApplied { app, .. }
             | EventKind::Dispatched { app, .. }
             | EventKind::Completed { app, .. }
-            | EventKind::BrokerSync { app, .. } => Some(app),
+            | EventKind::BrokerSync { app, .. }
+            | EventKind::JobArrived { app, .. }
+            | EventKind::JobCompleted { app, .. } => Some(app),
             EventKind::DepthAdjusted { .. }
             | EventKind::BlockPlaced { .. }
             | EventKind::FaultInjected { .. }
@@ -196,6 +198,27 @@ pub fn export(rec: &Recording) -> String {
                      \"args\":{{\"attempt\":{attempt},\"dev\":\"{}\"}}}}",
                     us(t),
                     dev_name(dev),
+                );
+            }
+            EventKind::JobArrived { job, app } => {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"job{job} arrived\",\"cat\":\"jobs\",\"ph\":\"i\",\
+                     \"s\":\"t\",\"ts\":{},\"pid\":{node},\"tid\":{app},\
+                     \"args\":{{\"job\":{job}}}}}",
+                    us(t),
+                );
+            }
+            EventKind::JobCompleted { job, app, latency_ns } => {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"job{job} completed\",\"cat\":\"jobs\",\"ph\":\"i\",\
+                     \"s\":\"t\",\"ts\":{},\"pid\":{node},\"tid\":{app},\
+                     \"args\":{{\"job\":{job},\"latency_ms\":{}}}}}",
+                    us(t),
+                    latency_ns as f64 / 1e6,
                 );
             }
             // Tagging/dispatch detail stays in the recording for the

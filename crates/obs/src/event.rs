@@ -103,6 +103,25 @@ pub enum EventKind {
         /// Retry attempt number (1-based).
         attempt: u32,
     },
+    /// A job entered the system (open-system arrival): the engine
+    /// registered its flow and started the arrival→completion clock.
+    JobArrived {
+        /// Job id.
+        job: u32,
+        /// Application (flow) id the job's I/O is tagged with — shared by
+        /// all of a tenant's jobs in multi-tenant runs.
+        app: u32,
+    },
+    /// A job completed; closes the clock opened by
+    /// [`EventKind::JobArrived`].
+    JobCompleted {
+        /// Job id.
+        job: u32,
+        /// Application (flow) id.
+        app: u32,
+        /// Arrival→completion latency in nanoseconds.
+        latency_ns: u64,
+    },
     /// The namenode allocated a block (primary replica first).
     BlockPlaced {
         /// Block id.

@@ -1,0 +1,191 @@
+//! Seeded arrival processes for open-system workloads.
+//!
+//! A closed system releases every job at t = 0 and measures the makespan;
+//! an open system releases jobs according to an *arrival process* and
+//! measures per-job latency under sustained load — the regime where I/O
+//! fairness policies earn their keep. Three processes cover the
+//! evaluation space:
+//!
+//! * [`ArrivalProcess::Poisson`] — memoryless arrivals, the SWIM /
+//!   Facebook2009 baseline (§7.3's "jobs submitted with exponential
+//!   inter-arrival times").
+//! * [`ArrivalProcess::OnOff`] — a two-state Markov-modulated process:
+//!   exponential on-windows emitting dense arrivals, separated by
+//!   exponential silences. The FaaS / bursty-tenant shape (BoPF's
+//!   motivating scenario).
+//! * [`ArrivalProcess::Replay`] — explicit offsets, typically parsed from
+//!   a JSONL trace ([`crate::trace`]).
+//!
+//! All sampling draws from a caller-provided [`SimRng`], so one base seed
+//! determines the whole workload, and per-tenant streams can be derived
+//! order-free with [`SimRng::stream_seed`].
+
+use ibis_simcore::rng::SimRng;
+use ibis_simcore::SimDuration;
+
+/// When jobs enter the system, relative to experiment start.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals: independent exponential inter-arrival gaps with
+    /// the given mean.
+    Poisson {
+        /// Mean inter-arrival time.
+        mean_interarrival: SimDuration,
+    },
+    /// Markov-modulated on/off bursts: the source alternates between an
+    /// *on* state (mean length `mean_on`) emitting Poisson arrivals at
+    /// `burst_interarrival`, and an *off* state (mean length `mean_off`)
+    /// emitting nothing. Both state lengths are exponential, so the
+    /// modulating chain is a two-state continuous-time Markov process.
+    OnOff {
+        /// Mean length of a burst window.
+        mean_on: SimDuration,
+        /// Mean length of the silence between bursts.
+        mean_off: SimDuration,
+        /// Mean inter-arrival time *inside* a burst.
+        burst_interarrival: SimDuration,
+    },
+    /// Replay explicit arrival offsets (e.g. from a parsed trace). The
+    /// offsets need not be sorted; sampling sorts them.
+    Replay(Vec<SimDuration>),
+}
+
+impl ArrivalProcess {
+    /// Samples `jobs` arrival offsets, nondecreasing. `Replay` ignores the
+    /// RNG and must carry at least `jobs` offsets.
+    pub fn sample(&self, rng: &mut SimRng, jobs: u32) -> Vec<SimDuration> {
+        match self {
+            ArrivalProcess::Poisson { mean_interarrival } => {
+                let mean = mean_interarrival.as_secs_f64();
+                let mut t = 0.0;
+                (0..jobs)
+                    .map(|_| {
+                        t += rng.exp(mean);
+                        SimDuration::from_secs_f64(t)
+                    })
+                    .collect()
+            }
+            ArrivalProcess::OnOff {
+                mean_on,
+                mean_off,
+                burst_interarrival,
+            } => {
+                let (on, off, gap) = (
+                    mean_on.as_secs_f64(),
+                    mean_off.as_secs_f64(),
+                    burst_interarrival.as_secs_f64(),
+                );
+                let mut t = 0.0;
+                let mut remaining_on = rng.exp(on);
+                let mut out = Vec::with_capacity(jobs as usize);
+                while out.len() < jobs as usize {
+                    let dt = rng.exp(gap);
+                    if dt <= remaining_on {
+                        // Arrival lands inside the current burst window.
+                        t += dt;
+                        remaining_on -= dt;
+                        out.push(SimDuration::from_secs_f64(t));
+                    } else {
+                        // The burst ends first: skip the silence and start
+                        // a fresh window. The partially-consumed gap is
+                        // discarded — exponential gaps are memoryless, so
+                        // redrawing preserves the in-burst rate.
+                        t += remaining_on + rng.exp(off);
+                        remaining_on = rng.exp(on);
+                    }
+                }
+                out
+            }
+            ArrivalProcess::Replay(offsets) => {
+                assert!(
+                    offsets.len() >= jobs as usize,
+                    "replay has {} offsets but {} jobs were requested",
+                    offsets.len(),
+                    jobs
+                );
+                let mut out = offsets[..jobs as usize].to_vec();
+                out.sort_unstable();
+                out
+            }
+        }
+    }
+
+    /// Number of offsets a `Replay` carries (`None` for synthetic
+    /// processes) — lets mix builders default a replay tenant's job count
+    /// to its trace length.
+    pub fn replay_len(&self) -> Option<u32> {
+        match self {
+            ArrivalProcess::Replay(v) => Some(v.len() as u32),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(v: &[SimDuration]) -> Vec<f64> {
+        v.iter().map(|d| d.as_secs_f64()).collect()
+    }
+
+    #[test]
+    fn poisson_is_nondecreasing_and_deterministic() {
+        let p = ArrivalProcess::Poisson {
+            mean_interarrival: SimDuration::from_secs(10),
+        };
+        let a = p.sample(&mut SimRng::new(7), 100);
+        let b = p.sample(&mut SimRng::new(7), 100);
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn poisson_mean_roughly_matches() {
+        let p = ArrivalProcess::Poisson {
+            mean_interarrival: SimDuration::from_secs(5),
+        };
+        let a = p.sample(&mut SimRng::new(11), 2000);
+        let total = a.last().unwrap().as_secs_f64();
+        let mean = total / 2000.0;
+        assert!((3.5..6.5).contains(&mean), "poisson mean drifted: {mean}");
+    }
+
+    #[test]
+    fn onoff_clusters_arrivals() {
+        let p = ArrivalProcess::OnOff {
+            mean_on: SimDuration::from_secs(2),
+            mean_off: SimDuration::from_secs(60),
+            burst_interarrival: SimDuration::from_millis(100),
+        };
+        let a = secs(&p.sample(&mut SimRng::new(3), 400));
+        // Bursty: the gap distribution is bimodal — most gaps tiny,
+        // a few huge. Compare median gap to max gap.
+        let mut gaps: Vec<f64> = a.windows(2).map(|w| w[1] - w[0]).collect();
+        gaps.sort_by(f64::total_cmp);
+        let median = gaps[gaps.len() / 2];
+        let max = *gaps.last().unwrap();
+        assert!(median < 0.5, "median in-burst gap too large: {median}");
+        assert!(max > 10.0, "no inter-burst silence observed: {max}");
+    }
+
+    #[test]
+    fn replay_sorts_and_truncates() {
+        let p = ArrivalProcess::Replay(vec![
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(3),
+        ]);
+        let a = p.sample(&mut SimRng::new(0), 2);
+        assert_eq!(secs(&a), vec![1.0, 5.0]);
+        assert_eq!(p.replay_len(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "replay has 1 offsets")]
+    fn replay_rejects_overdraw() {
+        ArrivalProcess::Replay(vec![SimDuration::ZERO]).sample(&mut SimRng::new(0), 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests of the workload-generation samplers: every
+//! distribution respects its declared support, every process is a pure
+//! function of its seed, and mixes/traces compose deterministically.
+
+use ibis_simcore::rng::SimRng;
+use ibis_simcore::SimDuration;
+use ibis_workgen::{
+    trace, ArrivalProcess, ColdStart, JobShape, MixConfig, SizeDist, TenantSpec, TraceRecord,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Bounded Pareto never escapes `[lo, hi]`, for any tail index.
+    #[test]
+    fn pareto_respects_support(
+        seed in 0u64..u64::MAX,
+        alpha in 0.2f64..3.0,
+        lo in 1.0f64..8.0,
+        span in 1.0f64..2000.0,
+    ) {
+        let d = SizeDist::BoundedPareto { alpha, lo, hi: lo + span };
+        let mut rng = SimRng::new(seed);
+        for _ in 0..200 {
+            let v = d.sample(&mut rng);
+            prop_assert!(v >= lo - 1e-9 && v <= lo + span + 1e-9, "escaped: {v}");
+        }
+    }
+
+    /// Lognormal clamps hold for any log-space parameters.
+    #[test]
+    fn lognormal_respects_clamps(
+        seed in 0u64..u64::MAX,
+        mu in -3.0f64..3.0,
+        sigma in 0.1f64..4.0,
+    ) {
+        let d = SizeDist::LogNormal { mu, sigma, lo: 0.5, hi: 64.0 };
+        let mut rng = SimRng::new(seed);
+        for _ in 0..200 {
+            let v = d.sample(&mut rng);
+            prop_assert!((0.5..=64.0).contains(&v));
+        }
+    }
+
+    /// Every distribution stays inside its own `bounds()` envelope, and
+    /// `sample_count` floors at one.
+    #[test]
+    fn samples_stay_inside_bounds(seed in 0u64..u64::MAX, pick in 0u32..4) {
+        let d = match pick {
+            0 => SizeDist::Uniform { lo: 2.0, hi: 40.0 },
+            1 => SizeDist::LogUniform { lo: 0.05, hi: 1000.0 },
+            2 => SizeDist::BoundedPareto { alpha: 0.9, lo: 1.0, hi: 128.0 },
+            _ => SizeDist::Bimodal {
+                heavy_fraction: 0.2,
+                lo: 1.0,
+                hi: 17.0,
+                heavy_lo: 16.0,
+                heavy_hi: 97.0,
+            },
+        };
+        let (lo, hi) = d.bounds();
+        let mut rng = SimRng::new(seed);
+        for _ in 0..200 {
+            let v = d.sample(&mut rng);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} outside [{lo}, {hi}]");
+            prop_assert!(d.sample_count(&mut rng) >= 1);
+        }
+    }
+
+    /// Arrival processes are nondecreasing and seed-deterministic.
+    #[test]
+    fn arrivals_sorted_and_deterministic(
+        seed in 0u64..u64::MAX,
+        jobs in 1u32..300,
+        bursty in prop::bool::ANY,
+    ) {
+        let p = if bursty {
+            ArrivalProcess::OnOff {
+                mean_on: SimDuration::from_secs(2),
+                mean_off: SimDuration::from_secs(30),
+                burst_interarrival: SimDuration::from_millis(150),
+            }
+        } else {
+            ArrivalProcess::Poisson { mean_interarrival: SimDuration::from_secs(7) }
+        };
+        let a = p.sample(&mut SimRng::new(seed), jobs);
+        let b = p.sample(&mut SimRng::new(seed), jobs);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), jobs as usize);
+        for w in a.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    /// A mix composes deterministically from its seed alone, in arrival
+    /// order, with each job owned by a declared tenant.
+    #[test]
+    fn mix_composes_deterministically(seed in 0u64..u64::MAX) {
+        let mix = || {
+            MixConfig::new(seed)
+                .tenant(TenantSpec::new(
+                    "batch",
+                    4.0,
+                    12,
+                    ArrivalProcess::Poisson { mean_interarrival: SimDuration::from_secs(9) },
+                    JobShape::heavy_tailed(),
+                ))
+                .tenant(
+                    TenantSpec::new(
+                        "faas",
+                        1.0,
+                        25,
+                        ArrivalProcess::OnOff {
+                            mean_on: SimDuration::from_secs(1),
+                            mean_off: SimDuration::from_secs(40),
+                            burst_interarrival: SimDuration::from_millis(80),
+                        },
+                        JobShape::short_task(),
+                    )
+                    .with_cold_start(ColdStart {
+                        idle_gap: SimDuration::from_secs(10),
+                        factor: 4.0,
+                    }),
+                )
+        };
+        let a = mix().compose();
+        let b = mix().compose();
+        prop_assert_eq!(a.len(), 37);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(&x.name, &y.name);
+            prop_assert_eq!(x.arrival, y.arrival);
+            prop_assert_eq!(x.map_output_ratio, y.map_output_ratio);
+            prop_assert_eq!(x.map_cpu_rate, y.map_cpu_rate);
+            prop_assert_eq!(&x.tenant, &y.tenant);
+        }
+        for w in a.windows(2) {
+            prop_assert!(w[0].arrival <= w[1].arrival);
+        }
+        for j in &a {
+            let t = j.tenant.as_deref();
+            prop_assert!(t == Some("batch") || t == Some("faas"));
+        }
+    }
+
+    /// JSONL traces round-trip bit-exactly: emit → parse is the identity.
+    #[test]
+    fn trace_emit_parse_roundtrip(
+        at in 0.0f64..10_000.0,
+        weight in 0.25f64..32.0,
+        maps in 1u32..200,
+        shuffle in 0.001f64..4.0,
+        output in 0.001f64..4.0,
+        reduces in 0u32..16,
+        dfs in prop::bool::ANY,
+    ) {
+        let rec = TraceRecord {
+            at_secs: at,
+            tenant: "prop".to_string(),
+            weight,
+            maps,
+            shuffle_ratio: shuffle,
+            output_ratio: output,
+            reduces,
+            dfs_input: dfs,
+            ..TraceRecord::default()
+        };
+        let text = trace::emit(std::slice::from_ref(&rec));
+        let back = trace::parse(&text).expect("emitted trace must parse");
+        prop_assert_eq!(back.len(), 1);
+        prop_assert_eq!(&back[0], &rec);
+    }
+}

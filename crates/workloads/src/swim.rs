@@ -12,11 +12,17 @@
 //! heavy-tailed job sizes (most jobs need a single wave of tasks —
 //! "most of these jobs require only one wave of map and reduce tasks"),
 //! and Poisson arrivals. The substitution is recorded in DESIGN.md.
+//!
+//! The sampler is expressed entirely in `ibis-workgen` primitives
+//! ([`JobShape`] over [`SizeDist`] envelopes, [`ArrivalProcess::Poisson`])
+//! drawing from one shared seeded [`SimRng`] stream — the same machinery
+//! open-system mixes use, so one seed reproduces the whole workload and
+//! SWIM jobs can ride inside a `MixConfig` tenant unchanged.
 
-use ibis_mapreduce::{InputSpec, JobSpec};
+use ibis_mapreduce::JobSpec;
 use ibis_simcore::rng::SimRng;
-use ibis_simcore::units::{HDFS_BLOCK, MIB};
 use ibis_simcore::SimDuration;
+use ibis_workgen::{ArrivalProcess, JobShape, SizeDist};
 
 /// Parameters of the Facebook2009 sampler.
 #[derive(Debug, Clone)]
@@ -48,60 +54,49 @@ impl Default for SwimConfig {
     }
 }
 
+impl SwimConfig {
+    /// The [`JobShape`] this configuration samples: the stock SWIM
+    /// envelope ([`JobShape::swim`]) with the map-count mixture rebuilt
+    /// from the configured class bounds.
+    pub fn shape(&self) -> JobShape {
+        JobShape {
+            maps: SizeDist::Bimodal {
+                heavy_fraction: self.large_fraction,
+                lo: 1.0,
+                hi: self.small_maps_max as f64 + 1.0,
+                heavy_lo: self.small_maps_max as f64,
+                heavy_hi: self.large_maps_max as f64 + 1.0,
+            },
+            ..JobShape::swim()
+        }
+    }
+}
+
 /// Samples the job list. Each job's input file is named
 /// `fb2009-job<i>-input`; the experiment harness must register those files
 /// with the namenode (sizes are in each spec's `InputSpec::DfsFile`).
+///
+/// Draw order, all from the single `SimRng::new(cfg.seed)` stream:
+/// arrivals first (`cfg.jobs` exponential gaps), then one
+/// [`JobShape::sample`] per job — the same layout [`ibis_workgen`]'s
+/// tenant generator uses.
 pub fn facebook2009(cfg: &SwimConfig) -> Vec<JobSpec> {
+    let shape = cfg.shape();
     let mut rng = SimRng::new(cfg.seed);
-    let mut arrival = SimDuration::ZERO;
-    (0..cfg.jobs)
-        .map(|i| {
-            // Sizes: mostly single-wave small jobs, a heavy tail of large
-            // ones.
-            let maps = if rng.chance(cfg.large_fraction) {
-                rng.range_u64(cfg.small_maps_max as u64, cfg.large_maps_max as u64 + 1)
-            } else {
-                rng.range_u64(1, cfg.small_maps_max as u64 + 1)
-            } as u32;
-            let input_bytes = maps as u64 * HDFS_BLOCK;
-
-            // Paper-quoted ratio envelopes (input/shuffle and
-            // shuffle/output), sampled log-uniformly.
-            let input_to_shuffle = rng.log_uniform(0.05, 1000.0);
-            let shuffle_to_output = rng.log_uniform(1.0 / 32.0, 100.0);
-            // Convert to the spec's forward ratios, bounded so a tiny
-            // denominator cannot produce petabyte intermediates on the
-            // down-scaled testbed.
-            let map_output_ratio = (1.0 / input_to_shuffle).clamp(0.001, 4.0);
-            let reduce_output_ratio = (1.0 / shuffle_to_output).clamp(0.001, 4.0);
-
-            let reduces = if map_output_ratio < 0.005 {
-                1
-            } else {
-                (maps / 4).clamp(1, 16)
-            };
-
-            // Compute intensity varies job to job (ETL vs analytics).
-            let map_cpu_rate = rng.log_uniform(8e6, 120e6);
-            let reduce_cpu_rate = rng.log_uniform(8e6, 120e6);
-
-            let spec = JobSpec {
-                input: InputSpec::DfsFile {
-                    name: format!("fb2009-job{i}-input"),
-                    bytes: input_bytes,
-                },
-                map_output_ratio,
-                map_cpu_rate,
-                reduces,
-                reduce_output_ratio,
-                reduce_cpu_rate,
-                merge_threshold: 512 * MIB,
-                arrival,
-                ..JobSpec::named(&format!("FB2009-{i}"))
-            };
-            arrival += SimDuration::from_secs_f64(
-                rng.exp(cfg.mean_interarrival.as_secs_f64()),
+    let arrivals = ArrivalProcess::Poisson {
+        mean_interarrival: cfg.mean_interarrival,
+    }
+    .sample(&mut rng, cfg.jobs);
+    arrivals
+        .into_iter()
+        .enumerate()
+        .map(|(i, at)| {
+            let mut spec = shape.sample(
+                &format!("FB2009-{i}"),
+                &format!("fb2009-job{i}-input"),
+                &mut rng,
             );
+            spec.arrival = at;
             spec
         })
         .collect()
@@ -110,6 +105,8 @@ pub fn facebook2009(cfg: &SwimConfig) -> Vec<JobSpec> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ibis_mapreduce::InputSpec;
+    use ibis_simcore::units::HDFS_BLOCK;
 
     #[test]
     fn produces_requested_job_count() {

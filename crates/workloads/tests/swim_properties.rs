@@ -1,0 +1,87 @@
+//! Property-based tests of the SWIM / Facebook2009 sampler: one seed
+//! reproduces the whole workload, and every sampled job stays inside the
+//! §7.3 distributional envelope.
+
+use ibis_mapreduce::InputSpec;
+use ibis_simcore::units::HDFS_BLOCK;
+use ibis_simcore::SimDuration;
+use ibis_workloads::{facebook2009, SwimConfig};
+use proptest::prelude::*;
+
+fn cfg(seed: u64, jobs: u32) -> SwimConfig {
+    SwimConfig {
+        jobs,
+        seed,
+        ..SwimConfig::default()
+    }
+}
+
+proptest! {
+    /// Same seed → byte-identical `JobSpec`s, field by field.
+    #[test]
+    fn seed_reproduces_the_workload(seed in 0u64..u64::MAX, jobs in 1u32..120) {
+        let a = facebook2009(&cfg(seed, jobs));
+        let b = facebook2009(&cfg(seed, jobs));
+        prop_assert_eq!(a.len(), jobs as usize);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(&x.name, &y.name);
+            prop_assert_eq!(x.input_bytes(), y.input_bytes());
+            prop_assert_eq!(x.map_output_ratio, y.map_output_ratio);
+            prop_assert_eq!(x.reduce_output_ratio, y.reduce_output_ratio);
+            prop_assert_eq!(x.map_cpu_rate, y.map_cpu_rate);
+            prop_assert_eq!(x.reduce_cpu_rate, y.reduce_cpu_rate);
+            prop_assert_eq!(x.reduces, y.reduces);
+            prop_assert_eq!(x.arrival, y.arrival);
+        }
+    }
+
+    /// Forward ratios stay within the clamped §7.3 bounds: the paper's
+    /// input→shuffle envelope is 0.05..10³ and shuffle→output is
+    /// 2⁻⁵..10², both inverted and clamped to [0.001, 4.0] for the
+    /// down-scaled testbed.
+    #[test]
+    fn ratios_stay_in_envelope(seed in 0u64..u64::MAX) {
+        for j in facebook2009(&cfg(seed, 60)) {
+            prop_assert!((0.001..=4.0).contains(&j.map_output_ratio),
+                "map ratio out of bounds: {}", j.map_output_ratio);
+            prop_assert!((0.001..=4.0).contains(&j.reduce_output_ratio),
+                "reduce ratio out of bounds: {}", j.reduce_output_ratio);
+            // Inverse (paper-form) input→shuffle ratio within its decade
+            // span wherever the clamp is not binding.
+            let i2s = 1.0 / j.map_output_ratio;
+            prop_assert!((0.25 - 1e-9..=1000.0 + 1e-9).contains(&i2s));
+        }
+    }
+
+    /// Map counts honour the two-class mixture bounds and size the input
+    /// file at one HDFS block per map; reduce counts honour the SWIM rule.
+    #[test]
+    fn sizes_and_reduces_stay_bounded(seed in 0u64..u64::MAX) {
+        let c = cfg(seed, 60);
+        for j in facebook2009(&c) {
+            let blocks = match &j.input {
+                InputSpec::DfsFile { bytes, .. } => bytes / HDFS_BLOCK,
+                other => panic!("not a DFS job: {other:?}"),
+            };
+            prop_assert!(blocks >= 1 && blocks <= c.large_maps_max as u64,
+                "map count out of range: {blocks}");
+            prop_assert!(j.reduces >= 1 && j.reduces <= 16);
+        }
+    }
+
+    /// Arrivals are a nondecreasing Poisson offset sequence regardless of
+    /// seed and rate.
+    #[test]
+    fn arrivals_nondecreasing(seed in 0u64..u64::MAX, mean_secs in 1u64..120) {
+        let jobs = facebook2009(&SwimConfig {
+            jobs: 40,
+            mean_interarrival: SimDuration::from_secs(mean_secs),
+            seed,
+            ..SwimConfig::default()
+        });
+        for w in jobs.windows(2) {
+            prop_assert!(w[0].arrival <= w[1].arrival);
+        }
+        prop_assert!(jobs[0].arrival > SimDuration::ZERO, "open system: first job arrives after a gap");
+    }
+}

@@ -18,6 +18,9 @@
 //!   baseline schedulers, and the distributed scheduling **broker**.
 //! * [`dfs`] — the HDFS-like distributed file system substrate.
 //! * [`mapreduce`] — jobs, tasks, slots, fair scheduling, shuffle.
+//! * [`workgen`] — open-system workload generation: arrival processes,
+//!   heavy-tailed samplers, multi-tenant mixes, DAG jobs, burst tenants,
+//!   and the JSONL trace format.
 //! * [`workloads`] — TeraGen / TeraSort / TeraValidate / WordCount /
 //!   Facebook2009 (SWIM) / TPC-H-on-Hive generators.
 //! * [`cluster`] — the full-cluster simulator and experiment harness.
@@ -34,6 +37,7 @@ pub use ibis_metrics as metrics;
 pub use ibis_obs as obs;
 pub use ibis_simcore as simcore;
 pub use ibis_storage as storage;
+pub use ibis_workgen as workgen;
 pub use ibis_workloads as workloads;
 
 /// Convenient glob-import surface covering the types most programs need.
@@ -41,5 +45,9 @@ pub mod prelude {
     pub use ibis_cluster::prelude::*;
     pub use ibis_core::prelude::*;
     pub use ibis_simcore::{SimDuration, SimTime};
+    pub use ibis_workgen::{
+        burst_tenant, ArrivalProcess, BurstProfile, ColdStart, DagSpec, DagStage, JobShape,
+        MixConfig, ReducePolicy, SizeDist, TenantSpec, TraceRecord,
+    };
     pub use ibis_workloads::prelude::*;
 }
