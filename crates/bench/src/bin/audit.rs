@@ -3,9 +3,11 @@
 //! Runs a set of small scenarios with the flight recorder forced on,
 //! replays each recording through the auditor (start-tag monotonicity,
 //! windowed proportional share, DSFQ delay identity, degraded pure-local
-//! fallback), and exits non-zero if any invariant is violated — or if the
-//! chaos scenario never actually degraded, so the degraded check cannot
-//! pass vacuously. Results land in `results/audit.json`.
+//! fallback) plus the `ibis-trace` attribution checker (per-app latency
+//! components must sum to the measured latency), and exits non-zero if
+//! any invariant is violated — or if the chaos scenario never actually
+//! degraded, so the degraded check cannot pass vacuously. Results land
+//! in `results/audit.json`.
 //!
 //! Usage: `audit [--list] [--trace DIR] [--json PATH] [scenario ...]`
 //!
@@ -137,7 +139,14 @@ fn invariant_rows(report: &AuditReport) -> [(Invariant, u64); 4] {
 /// Appends one scenario's verdict to the open `scenarios` array. `passed`
 /// is the same flag the process exit code is derived from, so the payload
 /// and the exit status cannot disagree.
-fn json_scenario(w: &mut json::Writer, name: &str, report: &AuditReport, dropped: u64, passed: bool) {
+fn json_scenario(
+    w: &mut json::Writer,
+    name: &str,
+    report: &AuditReport,
+    attribution: &ibis_trace::AttributionCheck,
+    dropped: u64,
+    passed: bool,
+) {
     w.open_object(None);
     w.string(Some("scenario"), name);
     w.value(Some("passed"), if passed { "true" } else { "false" });
@@ -154,6 +163,17 @@ fn json_scenario(w: &mut json::Writer, name: &str, report: &AuditReport, dropped
         w.number(Some("violations"), violations as f64);
         w.close();
     }
+    // The fifth invariant comes from `ibis-trace`, not the obs auditor:
+    // every app's latency components sum to its measured latency.
+    w.open_object(None);
+    w.string(Some("invariant"), "attribution-sums");
+    w.value(
+        Some("passed"),
+        if attribution.violations == 0 { "true" } else { "false" },
+    );
+    w.number(Some("checked"), attribution.checked as f64);
+    w.number(Some("violations"), attribution.violations as f64);
+    w.close();
     w.close();
     w.close();
 }
@@ -220,15 +240,17 @@ fn main() {
         let r = (s.build)().run();
         let rec = r.recording.as_ref().expect("recorder forced on");
         let mut report = audit(rec, &AuditConfig::default());
+        let attribution = ibis_trace::check(rec, ibis_trace::SUM_REL_TOL);
         println!(
             "{} events ({} dropped), {} dispatches, {} share windows, \
-             {} delay checks, {} degraded marks",
+             {} delay checks, {} degraded marks, {} attribution sums",
             report.events,
             rec.dropped_total(),
             report.dispatches,
             report.windows_checked,
             report.delay_checks,
-            report.degraded_marks
+            report.degraded_marks,
+            attribution.checked,
         );
         let summary = report.summary();
         println!("{summary}");
@@ -243,6 +265,14 @@ fn main() {
             || invariant_rows(&report)
                 .iter()
                 .any(|&(inv, _)| report.violations_of(inv) > 0);
+        if attribution.violations > 0 || attribution.checked == 0 {
+            println!(
+                "  ATTRIBUTION: {} of {} apps violate the sum identity \
+                 (worst rel err {:.3e})",
+                attribution.violations, attribution.checked, attribution.worst_rel_err
+            );
+            scenario_failed = true;
+        }
         if s.name == "degraded" && report.degraded_marks == 0 {
             println!(
                 "  VACUOUS: the degraded scenario never entered degraded \
@@ -269,8 +299,19 @@ fn main() {
             &format!("{}_degraded_marks", s.name),
             report.degraded_marks as f64,
         );
+        sink.record(
+            &format!("{}_attribution_checked", s.name),
+            attribution.checked as f64,
+        );
         if let Some(w) = verdict.as_mut() {
-            json_scenario(w, s.name, &report, rec.dropped_total(), !scenario_failed);
+            json_scenario(
+                w,
+                s.name,
+                &report,
+                &attribution,
+                rec.dropped_total(),
+                !scenario_failed,
+            );
         }
         if let Some(dir) = &trace_dir {
             std::fs::create_dir_all(dir).expect("create trace dir");

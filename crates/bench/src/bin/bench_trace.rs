@@ -1,0 +1,230 @@
+//! Emits `BENCH_trace.json` — the machine-readable record behind the
+//! causal-tracing overhead acceptance (DESIGN.md §16): what span
+//! assembly costs the engine, and — the hard requirement — that the
+//! trace-*off* path still runs at the untraced event rate.
+//!
+//! One scenario, run twice: the `bench_workloads` open-system arrival
+//! run (1 500 FaaS burst jobs on a small `Ideal` cluster with
+//! observability, metrics, and faults spelled out as off) with tracing
+//! off and with tracing on. The metrics are ns of wall clock per
+//! simulation event for each mode, and the relative overhead of the
+//! traced run. The two reports must agree on event count and makespan
+//! (tracing is non-perturbing by construction; the integration tests
+//! assert byte-identity, this bin spot-checks it).
+//!
+//! Usage: `bench_trace [--check <baseline.json>] [output-path]`
+//! (default `BENCH_trace.json`). With `--check`, exits non-zero when the
+//! trace-off event cost regresses materially against the committed
+//! baseline — and, when `BENCH_workloads.json` is readable, against the
+//! untraced arrival-run baseline too, proving the zero-cost-when-off
+//! claim against the pre-tracing number. The gate skips debug builds.
+
+use ibis_bench::{json, ScaleProfile};
+use ibis_cluster::prelude::*;
+use ibis_simcore::SimDuration;
+use ibis_workgen::{burst_tenant, BurstProfile, MixConfig};
+use std::time::Instant;
+
+/// Maximum tolerated regression vs the committed baselines, in percent.
+/// Wall-clock event rates wobble with host load, so the margin is wide,
+/// matching `bench_workloads`.
+const REGRESSION_PCT: f64 = 40.0;
+
+/// Jobs carried by each timed run (same as the `bench_workloads`
+/// arrival run, so `BENCH_workloads.json` is a valid cross-baseline).
+const ARRIVAL_JOBS: u32 = 1500;
+
+/// The untraced arrival-run baseline this scenario mirrors.
+const WORKLOADS_BASELINE: &str = "BENCH_workloads.json";
+
+/// The `bench_workloads` arrival experiment with tracing spelled out
+/// explicitly: small topology, fast `Ideal` devices, every optional
+/// subsystem off so environment variables cannot skew the timing.
+fn arrival_experiment(traced: bool) -> Experiment {
+    let cfg = ClusterConfig {
+        nodes: 4,
+        cores_per_node: 4,
+        seed: 0x9e4a,
+        hdfs_device: DeviceSpec::Ideal {
+            bandwidth: 300e6,
+            latency: SimDuration::from_millis(2),
+        },
+        scratch_device: DeviceSpec::Ideal {
+            bandwidth: 300e6,
+            latency: SimDuration::from_millis(2),
+        },
+        auto_reference: false,
+        obs: ibis_obs::ObsConfig::default(),
+        metrics: ibis_metrics::MetricsConfig::default(),
+        faults: ibis_faults::FaultsConfig::default(),
+        trace: if traced {
+            ibis_trace::TraceConfig::on()
+        } else {
+            ibis_trace::TraceConfig::default()
+        },
+        ..ClusterConfig::default()
+    }
+    .with_policy(Policy::SfqD { depth: 4 });
+    let mut exp = Experiment::new(cfg);
+    exp.add_mix(
+        &MixConfig::new(0xA221)
+            .tenant(burst_tenant("faas", BurstProfile::faas(ARRIVAL_JOBS).weight(1.0))),
+    );
+    exp
+}
+
+/// One warm-up run, one timed run; returns (report, wall seconds).
+fn timed_run(traced: bool) -> (RunReport, f64) {
+    let _ = arrival_experiment(traced).run();
+    let exp = arrival_experiment(traced);
+    let t = Instant::now();
+    let report = exp.run();
+    let secs = t.elapsed().as_secs_f64();
+    assert_eq!(
+        report.tenant("faas").map(|t| t.finished),
+        Some(u64::from(ARRIVAL_JOBS)),
+        "arrival run lost jobs (traced={traced})"
+    );
+    (report, secs)
+}
+
+/// Finds `"key": <number>` after the first occurrence of `anchor` (the
+/// mini-parser shared by the bench gates' fixed-shape records).
+fn extract_after(doc: &str, anchor: &str, key: &str) -> Option<f64> {
+    let at = doc.find(anchor)?;
+    let rest = &doc[at..];
+    let kat = rest.find(&format!("\"{key}\":"))?;
+    let tail = rest[kat..].split_once(':')?.1;
+    let end = tail.find([',', '\n', '}']).unwrap_or(tail.len());
+    tail[..end].trim().parse().ok()
+}
+
+/// Gates the fresh trace-off cost against the committed trace baseline
+/// and (when present) the untraced `bench_workloads` arrival baseline.
+/// Returns the failures, empty on pass.
+fn check(baseline_path: &str, off_ns_per_event: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    let doc = match std::fs::read_to_string(baseline_path) {
+        Ok(d) => d,
+        Err(e) => return vec![format!("cannot read baseline {baseline_path}: {e}")],
+    };
+
+    if json::build_profile() != "release" {
+        eprintln!("[bench_trace] debug build: timing gate skipped");
+        return failures;
+    }
+
+    match extract_after(&doc, "\"trace_off\"", "ns_per_event") {
+        Some(base) => {
+            let allowed = base * (1.0 + REGRESSION_PCT / 100.0);
+            if off_ns_per_event > allowed {
+                failures.push(format!(
+                    "trace-off event cost regressed: {off_ns_per_event:.0} ns/event vs \
+                     baseline {base:.0} (allowed ≤ {allowed:.0})"
+                ));
+            }
+        }
+        None => failures.push(format!(
+            "baseline {baseline_path} has no trace_off ns_per_event"
+        )),
+    }
+
+    // Cross-check against the pre-tracing arrival run: the trace-off
+    // path must stay within noise of the number recorded before the
+    // tracing subsystem existed. Advisory-absent (a fresh checkout of
+    // just this bench still gates against its own baseline).
+    if let Ok(wdoc) = std::fs::read_to_string(WORKLOADS_BASELINE) {
+        match extract_after(&wdoc, "\"arrival_run\"", "ns_per_event") {
+            Some(base) => {
+                let allowed = base * (1.0 + REGRESSION_PCT / 100.0);
+                if off_ns_per_event > allowed {
+                    failures.push(format!(
+                        "trace-off event cost exceeds the untraced baseline: \
+                         {off_ns_per_event:.0} ns/event vs {WORKLOADS_BASELINE} \
+                         arrival_run {base:.0} (allowed ≤ {allowed:.0})"
+                    ));
+                }
+            }
+            None => failures.push(format!(
+                "{WORKLOADS_BASELINE} present but has no arrival_run ns_per_event"
+            )),
+        }
+    }
+    failures
+}
+
+fn main() {
+    let mut baseline: Option<String> = None;
+    let mut out_path = "BENCH_trace.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--check" {
+            baseline = Some(args.next().unwrap_or_else(|| {
+                eprintln!("usage: bench_trace [--check <baseline.json>] [output-path]");
+                std::process::exit(2);
+            }));
+        } else {
+            out_path = a;
+        }
+    }
+
+    let cores = ibis_core::env::available_cores();
+    let scale = ScaleProfile::from_env();
+
+    eprintln!("[bench_trace] open-system run, tracing off: {ARRIVAL_JOBS} burst arrivals ...");
+    let (off, off_secs) = timed_run(false);
+    eprintln!("[bench_trace] open-system run, tracing on ...");
+    let (on, on_secs) = timed_run(true);
+
+    // Non-perturbation spot-check: same simulation either way.
+    assert_eq!(off.events, on.events, "tracing changed the event count");
+    assert_eq!(off.makespan, on.makespan, "tracing changed the makespan");
+    assert!(off.trace.is_none(), "untraced run published a trace");
+    let trace = on.trace.as_ref().expect("traced run must publish a trace");
+    assert!(
+        !trace.per_app.is_empty(),
+        "traced run assembled no attribution"
+    );
+
+    let events = off.events;
+    let off_ns_per_event = off_secs * 1e9 / events as f64;
+    let on_ns_per_event = on_secs * 1e9 / events as f64;
+    let overhead_pct = (on_secs / off_secs - 1.0) * 100.0;
+    let spans: usize = trace.forest.jobs.iter().map(|j| j.requests.len()).sum();
+
+    let mut w = json::bench_writer("trace");
+    w.string(Some("scale"), scale.label());
+    w.number(Some("host_cores"), cores as f64);
+    w.open_object(Some("trace_off"));
+    w.number(Some("jobs"), f64::from(ARRIVAL_JOBS));
+    w.number(Some("events"), events as f64);
+    w.number(Some("secs"), off_secs);
+    w.number(Some("ns_per_event"), off_ns_per_event);
+    w.close();
+    w.open_object(Some("trace_on"));
+    w.number(Some("events"), events as f64);
+    w.number(Some("secs"), on_secs);
+    w.number(Some("ns_per_event"), on_ns_per_event);
+    w.number(Some("request_spans"), spans as f64);
+    w.close();
+    w.number(Some("overhead_pct"), overhead_pct);
+    json::write_bench(w, &out_path);
+
+    eprintln!(
+        "[bench_trace] {out_path}: off {off_secs:.2}s ({off_ns_per_event:.0} ns/event), on \
+         {on_secs:.2}s ({on_ns_per_event:.0} ns/event, {spans} request spans), overhead \
+         {overhead_pct:+.1}% over {events} events ({cores} cores)"
+    );
+
+    if let Some(path) = baseline {
+        let failures = check(&path, off_ns_per_event);
+        if failures.is_empty() {
+            eprintln!("[bench_trace] --check vs {path}: OK");
+        } else {
+            for f in &failures {
+                eprintln!("[bench_trace] CHECK FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

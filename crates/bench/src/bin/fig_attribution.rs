@@ -1,0 +1,14 @@
+//! Regenerates the latency-attribution figure (DESIGN.md §16): the
+//! fig_trace scan-flood scenario with causal tracing on, each tenant's
+//! latency decomposed into components that sum exactly to the total,
+//! plus the diamond DAG's measured critical path and a joined
+//! metrics + attribution CSV.
+//! Scale via IBIS_SCALE={quick,paper}.
+use ibis_bench::figs::fig_attribution;
+use ibis_bench::ScaleProfile;
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    let sink = fig_attribution::run(scale);
+    sink.save();
+}

@@ -22,8 +22,9 @@ use ibis_workgen::{trace, TraceRecord};
 /// Builds the deterministic two-tenant JSONL trace and the etl-only
 /// variant (the standalone baseline). Offsets are fixed arithmetic (no
 /// RNG): the figure exercises *replay*, where arrivals come from the
-/// trace file, not a sampled process.
-fn build_traces(scale: ScaleProfile) -> (String, String) {
+/// trace file, not a sampled process. Shared with `fig_attribution`,
+/// which decomposes the same scan-flood scenario's latency.
+pub(crate) fn build_traces(scale: ScaleProfile) -> (String, String) {
     let (etl_jobs, scan_jobs, scan_maps) = match scale {
         ScaleProfile::Paper => (12u32, 36u32, 96u32),
         ScaleProfile::Quick => (6, 18, 48),

@@ -47,6 +47,7 @@ pub fn suite() -> Vec<SuiteEntry> {
         entry("fig_faults", "Chaos: fairness and makespan under injected faults", fig_faults::run),
         entry("fig_trace", "Open system: JSONL trace replay, per-tenant latency", fig_trace::run),
         entry("fig_burst", "Open system: FaaS burst tenant tail latency", fig_burst::run),
+        entry("fig_attribution", "Causal tracing: per-tenant latency decomposition + DAG critical path", fig_attribution::run),
         entry("ablate_controller", "Ablation: depth-controller parameters", ablations::controller),
         entry("ablate_sync_period", "Ablation: broker sync period", ablations::sync_period),
         entry("ablate_delay_cap", "Ablation: DSFQ delay cap", ablations::delay_cap),
@@ -58,6 +59,7 @@ pub fn suite() -> Vec<SuiteEntry> {
 
 pub mod ablations;
 pub mod fig02_profiles;
+pub mod fig_attribution;
 pub mod fig03_motivation;
 pub mod fig06_isolation_hdd;
 pub mod fig07_depth_trace;

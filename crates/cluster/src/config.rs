@@ -170,6 +170,13 @@ pub struct ClusterConfig {
     /// events, and produces byte-identical results to a build without
     /// fault support.
     pub faults: ibis_faults::FaultsConfig,
+    /// Causal-tracing configuration (see `ibis-trace`). Defaults to the
+    /// environment (`IBIS_TRACE=1` enables span assembly and the latency
+    /// attribution report on [`crate::report::RunReport`]); enabling it
+    /// runs a flight recorder internally when observability is off, but
+    /// never changes results — reports are byte-identical with tracing
+    /// on or off.
+    pub trace: ibis_trace::TraceConfig,
     /// Node-group partitions a single run's device-plane work is fanned
     /// across (DESIGN.md §14). Defaults to the environment
     /// (`IBIS_PARTITIONS`, else 1). 1 is the exact serial engine; any
@@ -208,6 +215,7 @@ impl Default for ClusterConfig {
             obs: ibis_obs::ObsConfig::from_env(),
             metrics: ibis_metrics::MetricsConfig::from_env(),
             faults: ibis_faults::FaultsConfig::from_env(),
+            trace: ibis_trace::TraceConfig::from_env(),
             partitions: ibis_core::env::partitions_from_env(),
         }
     }
@@ -242,6 +250,13 @@ impl ClusterConfig {
     /// ≥ 1; the engine further caps it at the node count.
     pub fn with_partitions(mut self, partitions: usize) -> Self {
         self.partitions = partitions.max(1);
+        self
+    }
+
+    /// Enables causal tracing (builder style): span trees, the latency
+    /// attribution report, and the engine self-profile on the report.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = ibis_trace::TraceConfig::on();
         self
     }
 }

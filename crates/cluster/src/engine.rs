@@ -30,7 +30,7 @@ use ibis_core::{AppId, IoClass, IoKind, Request, SchedulingBroker, SfqD2Config, 
 use ibis_dfs::{BlockId, BlockInfo, Namenode, NamenodeConfig, NodeId};
 use ibis_faults::{Fault, FaultSchedule};
 use ibis_mapreduce::job::JobEvent;
-use ibis_mapreduce::{JobId, JobManager, Step, TaskAssignment, TaskKind};
+use ibis_mapreduce::{JobId, JobManager, Step, TaskAssignment, TaskKind, TaskRef};
 use ibis_metrics::{Labels, MetricsRegistry, Sampler};
 use ibis_obs::{EventKind, FlightRecorder, ObsEvent, RecordingMeta};
 use ibis_simcore::metrics::{Histogram, TimeSeries};
@@ -591,6 +591,10 @@ pub struct Sim<A: ArenaKind = SlabArenas> {
     /// completions inside them (diagnostics; see `RunReport`).
     par_windows: u64,
     par_members: u64,
+    /// Wall-clock self-profile accumulators (None unless `cfg.trace`):
+    /// the event loops add phase timings here, and `build_report` stamps
+    /// the total. Pure wall-clock diagnostics — never in the canon.
+    profile: Option<ibis_trace::EngineProfile>,
 }
 
 impl<A: ArenaKind> Sim<A> {
@@ -620,7 +624,11 @@ impl<A: ArenaKind> Sim<A> {
             (None, None)
         };
 
-        let mut recorder = if cfg.obs.enabled {
+        // Tracing assembles spans from the same event stream, so it runs
+        // the recorder too (internally when obs is off: the recording is
+        // then consumed by assembly and never published, keeping reports
+        // byte-identical with tracing on or off).
+        let mut recorder = if cfg.obs.enabled || cfg.trace.enabled {
             Some(FlightRecorder::new(cfg.nodes, cfg.obs.capacity))
         } else {
             None
@@ -797,6 +805,7 @@ impl<A: ArenaKind> Sim<A> {
             }
         });
 
+        let profile = cfg.trace.enabled.then(ibis_trace::EngineProfile::default);
         Sim {
             job_mgr: JobManager::new(cfg.chunk),
             cfg,
@@ -832,6 +841,7 @@ impl<A: ArenaKind> Sim<A> {
             reference_ms,
             finished: false,
             last_event_time: SimTime::ZERO,
+            profile,
             recorder,
             obs_scratch: Vec::new(),
             metrics,
@@ -894,6 +904,56 @@ impl<A: ArenaKind> Sim<A> {
                 write: matches!(kind, IoKind::Write),
                 latency_ns: latency.as_nanos(),
             },
+        });
+    }
+
+    /// Outlined `IoQueued` emission (see `issue_io`): one branch on the
+    /// submit path when no recorder runs, one call when one does. The
+    /// caller builds the event kind behind its recorder check.
+    #[inline(never)]
+    fn record_queued(&mut self, node: u32, dev: usize, queued: EventKind, now: SimTime) {
+        let Some(rec) = self.recorder.as_mut() else {
+            return;
+        };
+        rec.record(ObsEvent {
+            at: now,
+            node,
+            dev: dev as u8,
+            kind: queued,
+        });
+    }
+
+    /// Outlined task-lifecycle emission: `TaskStarted` when `app` is
+    /// `Some`, `TaskFinished` otherwise. The task id packs the in-job
+    /// index with the high bit set for reduces, so span assembly can
+    /// tell phases apart without another field.
+    #[inline(never)]
+    fn record_task(&mut self, node: u32, tref: TaskRef, app: Option<AppId>, now: SimTime) {
+        let Some(rec) = self.recorder.as_mut() else {
+            return;
+        };
+        let task = tref.index
+            | if matches!(tref.kind, TaskKind::Reduce) {
+                0x8000_0000
+            } else {
+                0
+            };
+        let kind = match app {
+            Some(app) => EventKind::TaskStarted {
+                job: tref.job.0,
+                task,
+                app: app.0,
+            },
+            None => EventKind::TaskFinished {
+                job: tref.job.0,
+                task,
+            },
+        };
+        rec.record(ObsEvent {
+            at: now,
+            node,
+            dev: DEV_HDFS as u8,
+            kind,
         });
     }
 
@@ -966,11 +1026,45 @@ impl<A: ArenaKind> Sim<A> {
         self.finished
     }
 
+    /// Starts a self-profile stopwatch; `None` (free) when tracing is
+    /// off, so the unprofiled loops pay one branch per use.
+    #[inline]
+    fn prof_start(&self) -> Option<Instant> {
+        self.profile.is_some().then(Instant::now)
+    }
+
+    /// Banks a stopwatch into the phase accumulator `pick` selects.
+    #[inline]
+    fn prof_add(
+        &mut self,
+        t0: Option<Instant>,
+        pick: impl FnOnce(&mut ibis_trace::EngineProfile) -> &mut f64,
+    ) {
+        if let (Some(t0), Some(p)) = (t0, self.profile.as_mut()) {
+            *pick(p) += t0.elapsed().as_secs_f64();
+        }
+    }
+
     /// The classic serial event loop.
     fn run_serial(&mut self) {
+        if self.profile.is_none() {
+            while let Some((now, ev)) = self.queue.pop() {
+                self.account_event(matches!(ev, Event::MetricsSample), now);
+                self.handle(ev, now);
+                if self.check_finished() {
+                    break;
+                }
+            }
+            return;
+        }
+        // Profiled twin: identical event handling, plus a stopwatch per
+        // handler. Split from the plain loop so tracing-off runs never
+        // pay the timer calls.
         while let Some((now, ev)) = self.queue.pop() {
             self.account_event(matches!(ev, Event::MetricsSample), now);
+            let t0 = self.prof_start();
             self.handle(ev, now);
+            self.prof_add(t0, |p| &mut p.handler_secs);
             if self.check_finished() {
                 break;
             }
@@ -998,18 +1092,24 @@ impl<A: ArenaKind> Sim<A> {
     fn run_windowed(&mut self, ps: &mut ParState, pool: &mut SpinPool) {
         while let Some((now, ev)) = self.queue.pop() {
             if let Event::DeviceDone { node, dev, io } = ev {
+                let t0 = self.prof_start();
                 let carried = self.form_window(ps, node, dev, io, now);
+                self.prof_add(t0, |p| &mut p.form_secs);
                 self.run_window(ps, pool);
                 if let Some((t, ev)) = carried {
                     // The carried event precedes, in timeline order,
                     // everything the window just scheduled (it was popped
                     // strictly inside the horizon), so handling it here
                     // matches the serial engine's pop order exactly.
+                    let t0 = self.prof_start();
                     self.handle(ev, t);
+                    self.prof_add(t0, |p| &mut p.handler_secs);
                 }
             } else {
                 self.account_event(matches!(ev, Event::MetricsSample), now);
+                let t0 = self.prof_start();
                 self.handle(ev, now);
+                self.prof_add(t0, |p| &mut p.handler_secs);
             }
             if self.check_finished() {
                 break;
@@ -1240,13 +1340,18 @@ impl<A: ArenaKind> Sim<A> {
         // serial completion path. Which path runs is pure execution
         // strategy — both produce the identical event sequence — so the
         // threshold can be tuned freely without a determinism risk.
+        if let Some(p) = self.profile.as_mut() {
+            p.windows += 1;
+        }
         if n < MIN_POOL_MEMBERS
             || ps.per_part.iter().filter(|l| !l.is_empty()).count() <= 1
         {
+            let t0 = self.prof_start();
             for i in 0..n {
                 let m = ps.members[i];
                 self.device_done(m.node, m.dev, m.io, m.at);
             }
+            self.prof_add(t0, |p| &mut p.handler_secs);
             return;
         }
         if ps.outs.len() < n {
@@ -1254,7 +1359,11 @@ impl<A: ArenaKind> Sim<A> {
         }
         self.par_windows += 1;
         self.par_members += n as u64;
+        if let Some(p) = self.profile.as_mut() {
+            p.pooled_windows += 1;
+        }
         let recording = self.recorder.is_some();
+        let t0 = self.prof_start();
         {
             let nodes_base = SharedPtr::new(self.nodes.as_mut_ptr());
             let outs_base = SharedPtr::new(ps.outs.as_mut_ptr());
@@ -1277,6 +1386,8 @@ impl<A: ArenaKind> Sim<A> {
                 }
             });
         }
+        self.prof_add(t0, |p| &mut p.device_secs);
+        let t0 = self.prof_start();
         for i in 0..n {
             let m = ps.members[i];
             if m.class == MemberKind::Trivial {
@@ -1288,6 +1399,7 @@ impl<A: ArenaKind> Sim<A> {
             }
             self.device_done_apply(&m, &ps.outs[i]);
         }
+        self.prof_add(t0, |p| &mut p.apply_secs);
     }
 
     /// The serial tail of [`Sim::device_done`] for one window member:
@@ -1561,6 +1673,11 @@ impl<A: ArenaKind> Sim<A> {
                     let node = &mut self.nodes[n];
                     node.free_cores -= 1;
                     node.free_mem -= assignment.memory;
+                    let tref = assignment.task;
+                    if self.recorder.is_some() {
+                        let app = self.app_of(tref.job);
+                        self.record_task(n as u32, tref, Some(app), now);
+                    }
                     let read_window = self
                         .job_mgr
                         .job(assignment.task.job)
@@ -1740,6 +1857,9 @@ impl<A: ArenaKind> Sim<A> {
         node.free_mem += task.assignment.memory;
 
         let tref = task.assignment.task;
+        if self.recorder.is_some() {
+            self.record_task(task.node, tref, None, now);
+        }
         let events = self.job_mgr.on_task_finished(tref, now);
         // A finished map publishes a shuffle output: wake waiting reduces.
         if tref.kind == TaskKind::Map {
@@ -2048,6 +2168,15 @@ impl<A: ArenaKind> Sim<A> {
             dev: dev as u8,
             stream,
         });
+        if self.recorder.is_some() {
+            let queued = EventKind::IoQueued {
+                io: key.encode(),
+                app: app.0,
+                bytes,
+                write: matches!(kind, IoKind::Write),
+            };
+            self.record_queued(node, dev, queued, now);
+        }
         let req = Request {
             id: key.encode(),
             app,
@@ -2773,6 +2902,11 @@ impl<A: ArenaKind> Sim<A> {
                     w.retain(|&s| s != k);
                 }
             }
+            if self.recorder.is_some() {
+                // Close the aborted task's span at the crash instant; its
+                // re-run starts a fresh one on a surviving node.
+                self.record_task(node, task.assignment.task, None, now);
+            }
             self.job_mgr.on_task_aborted(task.assignment.task);
             self.faults
                 .as_mut()
@@ -3056,6 +3190,21 @@ impl<A: ArenaKind> Sim<A> {
                 nodes: self.cfg.nodes,
             })
         });
+        // Trace assembly is post-run analysis over the sealed recording.
+        // The recording itself is published only when observability asked
+        // for it: with tracing alone, it exists purely to feed assembly,
+        // so the report differs from a tracing-off run only in the two
+        // trace-owned (non-canon) fields.
+        let trace = if self.cfg.trace.enabled {
+            recording.as_ref().map(ibis_trace::TraceReport::assemble)
+        } else {
+            None
+        };
+        let recording = if self.cfg.obs.enabled { recording } else { None };
+        let engine_profile = self.profile.take().map(|mut p| {
+            p.total_secs = wall_secs;
+            p
+        });
 
         let tenants = self
             .tenants
@@ -3137,6 +3286,8 @@ impl<A: ArenaKind> Sim<A> {
             recording,
             metrics,
             faults,
+            trace,
+            engine_profile,
             par_windows: self.par_windows,
             par_members: self.par_members,
         }
@@ -3311,6 +3462,55 @@ mod tests {
         assert_eq!(off.makespan, on.makespan);
         for j in &off.jobs {
             assert_eq!(Some(j.runtime), on.job(&j.name).map(|x| x.runtime));
+        }
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_results() {
+        let run = |trace: ibis_trace::TraceConfig| {
+            let mut cfg = tiny_cluster();
+            cfg.policy = Policy::SfqD2(SfqD2Config::default());
+            cfg.coordination = true;
+            cfg.obs = ibis_obs::ObsConfig::default();
+            cfg.trace = trace;
+            let mut exp = Experiment::new(cfg);
+            exp.add_job(teragen(GIB));
+            exp.add_job(wordcount(GIB));
+            exp.run()
+        };
+        let off = run(ibis_trace::TraceConfig::default());
+        let on = run(ibis_trace::TraceConfig::on());
+        assert_eq!(off.events, on.events);
+        assert_eq!(off.makespan, on.makespan);
+        for j in &off.jobs {
+            assert_eq!(Some(j.runtime), on.job(&j.name).map(|x| x.runtime));
+        }
+        // Tracing alone publishes no recording — it feeds assembly only.
+        assert!(off.trace.is_none() && off.recording.is_none());
+        assert!(on.recording.is_none());
+        let trace = on.trace.expect("trace assembled");
+        assert!(!trace.per_app.is_empty());
+        for a in &trace.per_app {
+            assert_eq!(a.swept_ns, a.components_sum_ns(), "exact sum per app");
+        }
+        assert!(on.engine_profile.expect("profile").total_secs > 0.0);
+    }
+
+    #[test]
+    fn trace_spans_cover_jobs_and_requests() {
+        let mut cfg = tiny_cluster();
+        cfg.trace = ibis_trace::TraceConfig::on();
+        let mut exp = Experiment::new(cfg);
+        exp.add_job(teragen(GIB));
+        let r = exp.run();
+        let forest = r.trace.expect("trace").forest;
+        assert_eq!(forest.jobs.len(), 1);
+        let tree = &forest.jobs[0];
+        assert!(!tree.tasks.is_empty(), "task spans recorded");
+        assert!(!tree.requests.is_empty(), "request spans recorded");
+        for req in &tree.requests {
+            assert!(req.dispatched_ns >= req.queued_ns);
+            assert!(req.completed_ns >= req.dispatched_ns);
         }
     }
 

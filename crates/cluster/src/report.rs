@@ -149,6 +149,14 @@ pub struct RunReport {
     /// Fault-injection accounting, when a fault schedule was active
     /// (`ClusterConfig::faults`).
     pub faults: Option<FaultSummary>,
+    /// The causal trace, when tracing was enabled (`ClusterConfig::trace`):
+    /// per-app latency attribution (components sum exactly to the swept
+    /// total) plus per-job span trees. Join tenant names via
+    /// [`RunReport::tenants`] or [`RunReport::tenant_breakdown`].
+    pub trace: Option<ibis_trace::TraceReport>,
+    /// Wall-clock self-profile of the engine's phases, when tracing was
+    /// enabled. Like `wall_secs`, excluded from the determinism canon.
+    pub engine_profile: Option<ibis_trace::EngineProfile>,
     /// Multi-member execution windows run on the partition pool
     /// (DESIGN.md §14). Zero in serial runs (`partitions == 1`). A
     /// wall-clock diagnostic, like `wall_secs`: excluded from the
@@ -178,6 +186,13 @@ impl RunReport {
     /// The summary for a tenant by name.
     pub fn tenant(&self, name: &str) -> Option<&TenantSummary> {
         self.tenants.iter().find(|t| t.name == name)
+    }
+
+    /// A tenant's latency attribution, joined by name through the tenant
+    /// table. `None` when tracing was off or the tenant is unknown.
+    pub fn tenant_breakdown(&self, name: &str) -> Option<&ibis_trace::AppAttribution> {
+        let app = self.tenant(name)?.app;
+        self.trace.as_ref()?.app(app.0)
     }
 
     /// Slowdown of `runtime` relative to `baseline` (1.0 = unchanged,

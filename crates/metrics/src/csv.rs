@@ -7,11 +7,35 @@ use std::fmt::Write as _;
 /// Column header emitted by [`export`].
 pub const HEADER: &str = "metric,node,dev,app,t_secs,value";
 
+/// An extra row for [`export_with`]: an app-labelled end-of-run value
+/// from another subsystem (e.g. `ibis-trace` latency attribution),
+/// joined onto the sampled series without any schema change. `t_secs`
+/// is the row's time column; end-of-run summaries pass the makespan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtraRow {
+    /// Metric name (may carry a `/component` suffix).
+    pub metric: String,
+    /// Application (flow) id.
+    pub app: u32,
+    /// Time column, seconds.
+    pub t_secs: f64,
+    /// The value.
+    pub value: f64,
+}
+
 /// Render every sampled point as `metric,node,dev,app,t_secs,value` rows.
 /// Missing labels are empty fields. Values use shortest-exact float
 /// formatting so the CSV round-trips through `f64::from_str`.
 pub fn export(capture: &MetricsCapture) -> String {
-    let mut out = String::with_capacity(64 * (capture.total_points() + 1));
+    export_with(capture, &[])
+}
+
+/// [`export`] plus caller-supplied rows in the same long-form schema —
+/// the join point other subsystems use to land per-app summaries (node
+/// and dev stay empty, as for any cluster-wide app series) in the same
+/// file the sampled series already occupy.
+pub fn export_with(capture: &MetricsCapture, extra: &[ExtraRow]) -> String {
+    let mut out = String::with_capacity(64 * (capture.total_points() + extra.len() + 1));
     out.push_str(HEADER);
     out.push('\n');
     for series in &capture.series {
@@ -22,6 +46,9 @@ pub fn export(capture: &MetricsCapture) -> String {
         for &(t, v) in &series.points {
             let _ = writeln!(out, "{},{node},{dev},{app},{:?},{v:?}", k.name, t.as_secs_f64());
         }
+    }
+    for r in extra {
+        let _ = writeln!(out, "{},,,{},{:?},{:?}", r.metric, r.app, r.t_secs, r.value);
     }
     out
 }
@@ -55,5 +82,31 @@ mod tests {
         assert!(lines.contains(&"ctl_depth,0,1,,2.0,5.5"));
         assert!(lines.contains(&"dispatch_total,0,1,3,1.0,2.0"));
         assert!(lines.contains(&"dispatch_total,0,1,3,2.0,3.0"));
+    }
+
+    #[test]
+    fn export_with_joins_extra_rows() {
+        let mut reg = MetricsRegistry::new();
+        let g = reg.gauge("ctl_depth", Labels::on(0, 1));
+        let mut sampler = Sampler::new(SimDuration::from_secs(1));
+        g.set(4.0);
+        sampler.sample(SimTime::ZERO + SimDuration::from_secs(1), &reg);
+        let cap = sampler.into_capture(reg.snapshot());
+
+        let extra = vec![ExtraRow {
+            metric: "latency_component_ms/queue_wait".into(),
+            app: 3,
+            t_secs: 12.5,
+            value: 7.25,
+        }];
+        let text = export_with(&cap, &extra);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], HEADER);
+        assert!(lines.contains(&"ctl_depth,0,1,,1.0,4.0"));
+        assert!(lines.contains(&"latency_component_ms/queue_wait,,,3,12.5,7.25"));
+        // Same column count everywhere: the join adds rows, not schema.
+        for l in &lines {
+            assert_eq!(l.matches(',').count(), 5, "bad row: {l}");
+        }
     }
 }

@@ -423,6 +423,9 @@ pub fn audit(rec: &Recording, cfg: &AuditConfig) -> AuditReport {
             | EventKind::FaultInjected { .. }
             | EventKind::JobArrived { .. }
             | EventKind::JobCompleted { .. }
+            | EventKind::IoQueued { .. }
+            | EventKind::TaskStarted { .. }
+            | EventKind::TaskFinished { .. }
             | EventKind::ReportRetry { .. } => {}
         }
         streams.insert((node, dev), acc);

@@ -122,6 +122,39 @@ pub enum EventKind {
         /// Arrival→completion latency in nanoseconds.
         latency_ns: u64,
     },
+    /// The engine submitted a request to a node's I/O scheduler (emitted
+    /// for every policy, including Native, which has no tagging event).
+    /// Opens the request's queue-wait span; the dispatch instant is
+    /// recovered from [`EventKind::Completed`] as `at − latency_ns`.
+    IoQueued {
+        /// Request id.
+        io: u64,
+        /// Owning application id.
+        app: u32,
+        /// Request cost in bytes.
+        bytes: u64,
+        /// True for writes.
+        write: bool,
+    },
+    /// A task was granted a slot and began executing (opens the task
+    /// span; the stamped node is where the task runs).
+    TaskStarted {
+        /// Owning job id.
+        job: u32,
+        /// Task id: the index within the job's maps or reduces, with the
+        /// high bit set for reduces.
+        task: u32,
+        /// Application (flow) id the task's I/O is tagged with.
+        app: u32,
+    },
+    /// A task released its slot (closes the span opened by
+    /// [`EventKind::TaskStarted`]).
+    TaskFinished {
+        /// Owning job id.
+        job: u32,
+        /// Task id (same encoding as [`EventKind::TaskStarted`]).
+        task: u32,
+    },
     /// The namenode allocated a block (primary replica first).
     BlockPlaced {
         /// Block id.

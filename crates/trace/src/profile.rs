@@ -1,0 +1,89 @@
+//! Engine self-profile: where the simulator's wall clock went.
+//!
+//! The partitioned engine (DESIGN.md §14) alternates window formation,
+//! a parallel device-plane phase, and a serial apply replay; everything
+//! else is the ordinary serial handler loop. The profile attributes
+//! measured wall seconds to those phases so "why is this run slow"
+//! is answerable without a system profiler. Collected only when tracing
+//! is enabled — the timer calls would otherwise tax the hot loop.
+
+use std::fmt;
+
+/// Wall-clock attribution for one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineProfile {
+    /// Total wall seconds of the event loop.
+    pub total_secs: f64,
+    /// Window formation + member classification (serial).
+    pub form_secs: f64,
+    /// Parallel device-plane phase (worker pool busy).
+    pub device_secs: f64,
+    /// Serial apply replay of deferred member outputs.
+    pub apply_secs: f64,
+    /// Serial event handling (everything outside windows; includes the
+    /// small-window serial fallback).
+    pub handler_secs: f64,
+    /// Windows formed.
+    pub windows: u64,
+    /// Windows large enough to run on the pool.
+    pub pooled_windows: u64,
+}
+
+impl EngineProfile {
+    /// Wall seconds not covered by the named phases (event-queue pops,
+    /// bookkeeping between handlers).
+    pub fn untracked_secs(&self) -> f64 {
+        (self.total_secs - self.form_secs - self.device_secs - self.apply_secs
+            - self.handler_secs)
+            .max(0.0)
+    }
+
+    /// Phase share of total wall time, in [0, 1].
+    pub fn share(&self, secs: f64) -> f64 {
+        if self.total_secs <= 0.0 {
+            0.0
+        } else {
+            (secs / self.total_secs).clamp(0.0, 1.0)
+        }
+    }
+}
+
+impl fmt::Display for EngineProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "engine {:.3}s: form {:.1}% | device {:.1}% | apply {:.1}% | \
+             handlers {:.1}% | other {:.1}% ({} windows, {} pooled)",
+            self.total_secs,
+            100.0 * self.share(self.form_secs),
+            100.0 * self.share(self.device_secs),
+            100.0 * self.share(self.apply_secs),
+            100.0 * self.share(self.handler_secs),
+            100.0 * self.share(self.untracked_secs()),
+            self.windows,
+            self.pooled_windows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_and_untracked() {
+        let p = EngineProfile {
+            total_secs: 2.0,
+            form_secs: 0.2,
+            device_secs: 1.0,
+            apply_secs: 0.3,
+            handler_secs: 0.4,
+            windows: 10,
+            pooled_windows: 4,
+        };
+        assert!((p.share(p.device_secs) - 0.5).abs() < 1e-12);
+        assert!((p.untracked_secs() - 0.1).abs() < 1e-12);
+        let s = p.to_string();
+        assert!(s.contains("10 windows"));
+    }
+}

@@ -1,0 +1,445 @@
+//! Span assembly: turns the flat event recording into per-job span
+//! trees (job → tasks → requests).
+//!
+//! Requests carry only their application id (the tenant flow), so a
+//! request is attached to the app's **earliest-arrived job still open**
+//! at the instant it was queued — exact for tenant-less jobs (one app
+//! per job) and a deterministic convention for multi-job tenants. Within
+//! a job, a request is further attached to a task when exactly one of
+//! the job's tasks was running on the request's node at queue time.
+//! Unmatched opens (ring truncation, in-flight at the cut) are dropped.
+
+use ibis_obs::{EventKind, Recording};
+use std::collections::{BTreeMap, HashMap};
+
+/// One request lifecycle: queue wait `[queued, dispatched)` then device
+/// service `[dispatched, completed)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestSpan {
+    /// Request id.
+    pub io: u64,
+    /// Node and device the request ran on.
+    pub node: u32,
+    /// Device index (0 = HDFS, 1 = scratch).
+    pub dev: u8,
+    /// Owning application id.
+    pub app: u32,
+    /// Instant the engine submitted the request to the scheduler.
+    pub queued_ns: u64,
+    /// Instant the scheduler handed it to the device.
+    pub dispatched_ns: u64,
+    /// Completion instant.
+    pub completed_ns: u64,
+    /// Request cost in bytes.
+    pub bytes: u64,
+    /// True for writes.
+    pub write: bool,
+    /// True when a DSFQ delay charge landed on this app at the queue
+    /// instant (the queue wait includes charged foreign service).
+    pub delayed: bool,
+    /// Task id the request was attributed to, when unambiguous.
+    pub task: Option<u32>,
+}
+
+impl RequestSpan {
+    /// Queue-wait nanoseconds.
+    pub fn queue_ns(&self) -> u64 {
+        self.dispatched_ns - self.queued_ns
+    }
+
+    /// Device-service nanoseconds.
+    pub fn service_ns(&self) -> u64 {
+        self.completed_ns - self.dispatched_ns
+    }
+}
+
+/// One task occupancy span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSpan {
+    /// Task id (index, high bit set for reduces).
+    pub task: u32,
+    /// Node the task ran on.
+    pub node: u32,
+    /// Slot-grant instant.
+    pub start_ns: u64,
+    /// Slot-release instant.
+    pub end_ns: u64,
+}
+
+/// One job's span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobTree {
+    /// Job id.
+    pub job: u32,
+    /// Application (flow) id.
+    pub app: u32,
+    /// Arrival instant.
+    pub arrived_ns: u64,
+    /// Completion instant.
+    pub completed_ns: u64,
+    /// Task spans, in start order.
+    pub tasks: Vec<TaskSpan>,
+    /// Request spans attributed to this job, in queue order.
+    pub requests: Vec<RequestSpan>,
+}
+
+impl JobTree {
+    /// Arrival→completion latency.
+    pub fn latency_ns(&self) -> u64 {
+        self.completed_ns - self.arrived_ns
+    }
+}
+
+/// The assembled forest plus the spans that could not be attached.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanForest {
+    /// Completed jobs, sorted by (arrival, job id).
+    pub jobs: Vec<JobTree>,
+    /// Requests whose app had no open job at queue time.
+    pub unattached: Vec<RequestSpan>,
+}
+
+/// Assembles the span forest from `rec`.
+pub fn build_forest(rec: &Recording) -> SpanForest {
+    // Delay charges, for the per-request `delayed` flag.
+    let mut delayed_at: std::collections::HashSet<(u32, u8, u32, u64)> =
+        std::collections::HashSet::new();
+    for ev in rec.events() {
+        if let EventKind::DelayApplied { app, .. } = ev.kind {
+            delayed_at.insert((ev.node, ev.dev, app, ev.at.as_nanos()));
+        }
+    }
+
+    // Closed lifecycles.
+    let mut req_open: HashMap<(u32, u8, u64), (u64, u32)> = HashMap::new();
+    let mut task_open: HashMap<(u32, u32), (u64, u32)> = HashMap::new();
+    let mut job_open: HashMap<u32, (u64, u32)> = HashMap::new();
+    let mut requests: Vec<RequestSpan> = Vec::new();
+    let mut tasks: Vec<(u32, TaskSpan)> = Vec::new(); // (job, span)
+    let mut jobs: Vec<JobTree> = Vec::new();
+    for ev in rec.events() {
+        let (node, dev, t) = (ev.node, ev.dev, ev.at.as_nanos());
+        match ev.kind {
+            EventKind::IoQueued { io, app, .. } => {
+                req_open.insert((node, dev, io), (t, app));
+            }
+            EventKind::Completed {
+                io,
+                app,
+                bytes,
+                write,
+                latency_ns,
+            } => {
+                if let Some((queued, _)) = req_open.remove(&(node, dev, io)) {
+                    let dispatched = t.saturating_sub(latency_ns).max(queued);
+                    requests.push(RequestSpan {
+                        io,
+                        node,
+                        dev,
+                        app,
+                        queued_ns: queued,
+                        dispatched_ns: dispatched,
+                        completed_ns: t.max(dispatched),
+                        bytes,
+                        write,
+                        delayed: delayed_at.contains(&(node, dev, app, queued)),
+                        task: None,
+                    });
+                }
+            }
+            EventKind::TaskStarted { job, task, .. } => {
+                task_open.insert((job, task), (t, node));
+            }
+            EventKind::TaskFinished { job, task } => {
+                if let Some((start, start_node)) = task_open.remove(&(job, task)) {
+                    tasks.push((
+                        job,
+                        TaskSpan {
+                            task,
+                            node: start_node,
+                            start_ns: start,
+                            end_ns: t.max(start),
+                        },
+                    ));
+                }
+            }
+            EventKind::JobArrived { job, app } => {
+                job_open.insert(job, (t, app));
+            }
+            EventKind::JobCompleted { job, app, .. } => {
+                if let Some((arrived, _)) = job_open.remove(&job) {
+                    jobs.push(JobTree {
+                        job,
+                        app,
+                        arrived_ns: arrived,
+                        completed_ns: t.max(arrived),
+                        tasks: Vec::new(),
+                        requests: Vec::new(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    jobs.sort_by_key(|j| (j.arrived_ns, j.job));
+
+    // Attach tasks by job id.
+    let by_job: HashMap<u32, usize> = jobs.iter().enumerate().map(|(i, j)| (j.job, i)).collect();
+    for (job, span) in tasks {
+        if let Some(&i) = by_job.get(&job) {
+            jobs[i].tasks.push(span);
+        }
+    }
+    for j in &mut jobs {
+        j.tasks.sort_by_key(|t| (t.start_ns, t.task));
+    }
+
+    // Attach requests: sweep arrivals/completions/queue instants in time
+    // order, keeping the open-job set per app ordered by arrival.
+    #[derive(Clone, Copy)]
+    enum Mark {
+        Open(usize),
+        Close(usize),
+        Req(usize),
+    }
+    let mut marks: Vec<(u64, u8, Mark)> = Vec::new();
+    for (i, j) in jobs.iter().enumerate() {
+        marks.push((j.arrived_ns, 0, Mark::Open(i)));
+        marks.push((j.completed_ns, 2, Mark::Close(i)));
+    }
+    for (i, r) in requests.iter().enumerate() {
+        marks.push((r.queued_ns, 1, Mark::Req(i)));
+    }
+    // Opens before requests before closes at the same instant: a request
+    // queued exactly at arrival belongs to the arriving job.
+    marks.sort_by_key(|&(t, rank, m)| {
+        (
+            t,
+            rank,
+            match m {
+                Mark::Open(i) | Mark::Close(i) | Mark::Req(i) => i,
+            },
+        )
+    });
+    let mut open: HashMap<u32, BTreeMap<(u64, u32), usize>> = HashMap::new();
+    let mut owner: Vec<Option<usize>> = vec![None; requests.len()];
+    for (_, _, mark) in marks {
+        match mark {
+            Mark::Open(i) => {
+                let j = &jobs[i];
+                open.entry(j.app)
+                    .or_default()
+                    .insert((j.arrived_ns, j.job), i);
+            }
+            Mark::Close(i) => {
+                let j = &jobs[i];
+                open.entry(j.app).or_default().remove(&(j.arrived_ns, j.job));
+            }
+            Mark::Req(i) => {
+                owner[i] = open
+                    .get(&requests[i].app)
+                    .and_then(|m| m.values().next().copied());
+            }
+        }
+    }
+    let mut unattached = Vec::new();
+    for (i, mut r) in requests.into_iter().enumerate() {
+        match owner[i] {
+            Some(j) => {
+                // Task attribution: unique running task on this node.
+                let mut hits = jobs[j]
+                    .tasks
+                    .iter()
+                    .filter(|t| {
+                        t.node == r.node && t.start_ns <= r.queued_ns && r.queued_ns < t.end_ns
+                    })
+                    .map(|t| t.task);
+                let first = hits.next();
+                r.task = match (first, hits.next()) {
+                    (Some(t), None) => Some(t),
+                    _ => None,
+                };
+                jobs[j].requests.push(r);
+            }
+            None => unattached.push(r),
+        }
+    }
+    for j in &mut jobs {
+        j.requests.sort_by_key(|r| (r.queued_ns, r.node, r.dev, r.io));
+    }
+    SpanForest { jobs, unattached }
+}
+
+/// Structural well-formedness over a recording: every opened span is
+/// closed, closes follow opens, and request phases are ordered. Returns
+/// the number of complete request/task/job lifecycles, or the first
+/// defect found. Ring-truncated recordings are rejected by the caller
+/// (truncation legitimately orphans opens); requests still open on a
+/// node that crashed are exempt — a crash sweeps in-flight I/O, and the
+/// replacement request gets a fresh id.
+pub fn check_well_formed(rec: &Recording) -> Result<(u64, u64, u64), String> {
+    let mut crashed: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    for ev in rec.events() {
+        if let EventKind::FaultInjected { kind: 3, .. } = ev.kind {
+            crashed.insert(ev.node);
+        }
+    }
+    let mut req_open: HashMap<(u32, u8, u64), u64> = HashMap::new();
+    let mut task_open: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut job_open: HashMap<u32, u64> = HashMap::new();
+    let (mut reqs, mut tasks, mut jobs) = (0u64, 0u64, 0u64);
+    for ev in rec.events() {
+        let (node, dev, t) = (ev.node, ev.dev, ev.at.as_nanos());
+        match ev.kind {
+            EventKind::IoQueued { io, .. } => {
+                let reopened = req_open.insert((node, dev, io), t).is_some();
+                if reopened && !crashed.contains(&node) {
+                    return Err(format!("io {io} queued twice on node {node} dev {dev}"));
+                }
+            }
+            EventKind::Completed { io, latency_ns, .. } => {
+                match req_open.remove(&(node, dev, io)) {
+                    None => {
+                        if !crashed.contains(&node) {
+                            return Err(format!("io {io} completed without queue on node {node}"));
+                        }
+                    }
+                    Some(q) => {
+                        let dispatch = t.saturating_sub(latency_ns);
+                        if dispatch < q {
+                            return Err(format!(
+                                "io {io} dispatched at {dispatch} before queued at {q}"
+                            ));
+                        }
+                        reqs += 1;
+                    }
+                }
+            }
+            EventKind::TaskStarted { job, task, .. } => {
+                let reopened = task_open.insert((job, task), t).is_some();
+                if reopened {
+                    return Err(format!("task {task} of job {job} started twice"));
+                }
+            }
+            EventKind::TaskFinished { job, task } => match task_open.remove(&(job, task)) {
+                None => return Err(format!("task {task} of job {job} finished unopened")),
+                Some(s) => {
+                    if t < s {
+                        return Err(format!("task {task} of job {job} ends before start"));
+                    }
+                    tasks += 1;
+                }
+            },
+            EventKind::JobArrived { job, .. } => {
+                let reopened = job_open.insert(job, t).is_some();
+                if reopened {
+                    return Err(format!("job {job} arrived twice"));
+                }
+            }
+            EventKind::JobCompleted { job, .. } => match job_open.remove(&job) {
+                None => return Err(format!("job {job} completed unopened")),
+                Some(s) => {
+                    if t < s {
+                        return Err(format!("job {job} completes before arrival"));
+                    }
+                    jobs += 1;
+                }
+            },
+            _ => {}
+        }
+    }
+    if let Some((&(node, dev, io), _)) =
+        req_open.iter().find(|((node, _, _), _)| !crashed.contains(node))
+    {
+        return Err(format!("io {io} on node {node} dev {dev} never completed"));
+    }
+    if let Some((&(job, task), _)) = task_open.iter().next() {
+        return Err(format!("task {task} of job {job} never finished"));
+    }
+    if let Some((&job, _)) = job_open.iter().next() {
+        return Err(format!("job {job} never completed"));
+    }
+    Ok((reqs, tasks, jobs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibis_obs::{FlightRecorder, ObsEvent, RecordingMeta};
+    use ibis_simcore::SimTime;
+
+    fn ev(at: u64, node: u32, dev: u8, kind: EventKind) -> ObsEvent {
+        ObsEvent {
+            at: SimTime::from_nanos(at),
+            node,
+            dev,
+            kind,
+        }
+    }
+
+    fn sample() -> Recording {
+        let mut rec = FlightRecorder::new(2, 64);
+        rec.record(ev(0, 0, 0, EventKind::JobArrived { job: 1, app: 1 }));
+        rec.record(ev(10, 1, 0, EventKind::TaskStarted { job: 1, task: 0, app: 1 }));
+        rec.record(ev(20, 1, 0, EventKind::IoQueued { io: 5, app: 1, bytes: 64, write: false }));
+        rec.record(ev(120, 1, 0, EventKind::Completed {
+            io: 5,
+            app: 1,
+            bytes: 64,
+            write: false,
+            latency_ns: 60,
+        }));
+        rec.record(ev(150, 1, 0, EventKind::TaskFinished { job: 1, task: 0 }));
+        rec.record(ev(200, 0, 0, EventKind::JobCompleted { job: 1, app: 1, latency_ns: 200 }));
+        rec.finish(RecordingMeta {
+            weights: vec![(1, 1.0)],
+            sync_period_ns: 1_000_000_000,
+            nodes: 2,
+        })
+    }
+
+    #[test]
+    fn builds_job_task_request_tree() {
+        let forest = build_forest(&sample());
+        assert_eq!(forest.jobs.len(), 1);
+        assert!(forest.unattached.is_empty());
+        let j = &forest.jobs[0];
+        assert_eq!(j.latency_ns(), 200);
+        assert_eq!(j.tasks.len(), 1);
+        assert_eq!(j.requests.len(), 1);
+        let r = &j.requests[0];
+        assert_eq!(r.queue_ns(), 40); // dispatched at 120−60=60, queued 20
+        assert_eq!(r.service_ns(), 60);
+        assert_eq!(r.task, Some(0)); // unique running task on node 1
+    }
+
+    #[test]
+    fn well_formedness_accepts_sample_and_rejects_orphans() {
+        assert_eq!(check_well_formed(&sample()), Ok((1, 1, 1)));
+        let mut rec = FlightRecorder::new(1, 8);
+        rec.record(ev(5, 0, 0, EventKind::TaskStarted { job: 9, task: 3, app: 1 }));
+        let r = rec.finish(RecordingMeta::default());
+        assert!(check_well_formed(&r).is_err());
+    }
+
+    #[test]
+    fn requests_attach_to_earliest_open_job() {
+        let mut rec = FlightRecorder::new(1, 64);
+        rec.record(ev(0, 0, 0, EventKind::JobArrived { job: 1, app: 7 }));
+        rec.record(ev(50, 0, 0, EventKind::JobArrived { job: 2, app: 7 }));
+        rec.record(ev(60, 0, 0, EventKind::IoQueued { io: 1, app: 7, bytes: 1, write: false }));
+        rec.record(ev(80, 0, 0, EventKind::Completed {
+            io: 1,
+            app: 7,
+            bytes: 1,
+            write: false,
+            latency_ns: 10,
+        }));
+        rec.record(ev(100, 0, 0, EventKind::JobCompleted { job: 1, app: 7, latency_ns: 100 }));
+        rec.record(ev(150, 0, 0, EventKind::JobCompleted { job: 2, app: 7, latency_ns: 100 }));
+        let forest = build_forest(&rec.finish(RecordingMeta::default()));
+        assert_eq!(forest.jobs[0].job, 1);
+        assert_eq!(forest.jobs[0].requests.len(), 1);
+        assert!(forest.jobs[1].requests.is_empty());
+    }
+}

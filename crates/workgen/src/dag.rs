@@ -145,6 +145,37 @@ impl DagSpec {
             .sum()
     }
 
+    /// Builds the timed dependency DAG for [`ibis_trace::critical_path`]
+    /// from a finished run of the lowered chain: `times[i]` is stage
+    /// *i*'s measured `[start_ns, end_ns)` interval (submission →
+    /// completion of the job named `{dag}-{stage}`). The returned nodes
+    /// carry the DAG's *true* edges, so the extracted path answers the
+    /// counterfactual the sequential lowering obscures: which chain
+    /// would bound the makespan under parallel stage execution.
+    pub fn cp_nodes(&self, times: &[(u64, u64)]) -> Vec<ibis_trace::CpNode> {
+        assert_eq!(
+            times.len(),
+            self.stages.len(),
+            "one (start, end) interval per stage"
+        );
+        self.stages
+            .iter()
+            .zip(times)
+            .map(|(s, &(start_ns, end_ns))| ibis_trace::CpNode {
+                label: format!("{}-{}", self.name, s.name),
+                start_ns,
+                end_ns,
+                deps: s.deps.clone(),
+            })
+            .collect()
+    }
+
+    /// The critical path of this DAG under the measured stage intervals
+    /// (see [`DagSpec::cp_nodes`]).
+    pub fn critical_path(&self, times: &[(u64, u64)]) -> ibis_trace::CriticalPath {
+        ibis_trace::critical_path(&self.cp_nodes(times))
+    }
+
     /// Compiles the DAG to a sequential stage chain. Stage *i*'s lowered
     /// ratios are computed against the chain's carried volume (stage
     /// *i−1*'s output), so every stage's absolute shuffle and output byte
@@ -267,6 +298,19 @@ mod tests {
         assert!((chain[0].map_output_ratio - 0.5).abs() < 1e-12);
         // agg's shuffle = 0.5 GiB · 1.0, against carried 0.5 GiB → ratio 1.
         assert!((chain[1].map_output_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_follows_dag_edges_not_the_chain() {
+        let d = diamond();
+        // Hypothetical parallel-stage timings: filter is the long arm.
+        let times = [(0, 100), (100, 500), (100, 150), (500, 600)];
+        let cp = d.critical_path(&times);
+        assert_eq!(cp.nodes, vec![0, 1, 3]); // scan → filter → join
+        assert_eq!(cp.length_ns, 600);
+        let nodes = d.cp_nodes(&times);
+        assert_eq!(nodes[3].label, "diamond-join");
+        assert_eq!(nodes[3].deps, vec![1, 2]);
     }
 
     #[test]
